@@ -1,0 +1,75 @@
+package ipra
+
+import (
+	"testing"
+
+	"ipra/internal/benchprogs"
+)
+
+func benchSources(t testing.TB, b benchprogs.Benchmark) []Source {
+	t.Helper()
+	files, err := b.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Source
+	for _, f := range files {
+		out = append(out, Source{Name: f.Name, Text: f.Text})
+	}
+	return out
+}
+
+// TestBenchmarkProgramsRun compiles every Table 3 analog under every
+// configuration and checks the configurations agree on behaviour.
+func TestBenchmarkProgramsRun(t *testing.T) {
+	for _, b := range benchprogs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			sources := benchSources(t, b)
+
+			base, err := Compile(sources, Level2())
+			if err != nil {
+				t.Fatalf("compile L2: %v", err)
+			}
+			want, err := base.Run(b.MaxInstrs, false)
+			if err != nil {
+				t.Fatalf("run L2: %v", err)
+			}
+			t.Logf("L2: exit=%d instrs=%d cycles=%d memrefs=%d singleton=%d",
+				want.Exit, want.Stats.Instrs, want.Stats.Cycles,
+				want.Stats.MemRefs(), want.Stats.SingletonRefs())
+
+			for _, cfg := range Configs() {
+				var p *Program
+				if cfg.WantProfile {
+					p, _, err = CompileProfiled(sources, cfg, b.MaxInstrs)
+				} else {
+					p, err = Compile(sources, cfg)
+				}
+				if err != nil {
+					t.Fatalf("compile %s: %v", cfg.Name, err)
+				}
+				got, err := p.Run(b.MaxInstrs, false)
+				if err != nil {
+					t.Fatalf("run %s: %v", cfg.Name, err)
+				}
+				if got.Exit != want.Exit || got.Output != want.Output {
+					t.Errorf("%s: behaviour differs from L2: exit %d vs %d",
+						cfg.Name, got.Exit, want.Exit)
+				}
+				t.Logf("%s: cycles=%d (%.1f%%) singleton=%d (%.1f%%)",
+					cfg.Name,
+					got.Stats.Cycles, improvement(want.Stats.Cycles, got.Stats.Cycles),
+					got.Stats.SingletonRefs(), improvement(want.Stats.SingletonRefs(), got.Stats.SingletonRefs()))
+			}
+		})
+	}
+}
+
+// improvement returns the percentage reduction from base to v.
+func improvement(base, v uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(base) - float64(v)) / float64(base)
+}

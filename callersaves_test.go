@@ -1,0 +1,142 @@
+package ipra
+
+import (
+	"testing"
+)
+
+// callerSavesProgram: driver holds values across calls to a tiny leaf.
+// Under the standard convention those values need callee-saves registers
+// (save/restore in driver); with §7.6.2 caller-saves preallocation the
+// leaf's call tree advertises that it only touches a couple of scratch
+// registers, so driver keeps the values in untouched caller-saves
+// registers for free.
+const callerSavesProgram = `
+int tiny(int x) { return x ^ 3; }
+
+// middle is called thousands of times and holds two values across its
+// call to tiny: under the standard convention it saves/restores two
+// callee-saves registers on every invocation. tiny's advertised call-tree
+// clobber set spares the upper scratch registers, so the extension keeps
+// a and b in caller-saves registers instead — no spill code at all.
+int middle(int i) {
+	int a = i * 3;
+	int b = i + 7;
+	return tiny(i) + a + b;
+}
+
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 4000; i++) {
+		s += middle(i);
+	}
+	return s & 255;
+}
+`
+
+func withCallerSaves() Config {
+	c := ConfigA()
+	c.Name = "A+callersaves"
+	c.Analyzer.CallerSavesPreallocation = true
+	return c
+}
+
+// bareCallerSaves isolates the extension: no spill motion, no promotion —
+// only the per-callee clobber sets differ from the baseline.
+func bareCallerSaves(on bool) Config {
+	c := ConfigA()
+	c.Analyzer.SpillMotion = false
+	c.Analyzer.CallerSavesPreallocation = on
+	if on {
+		c.Name = "cs-only"
+	} else {
+		c.Name = "bare"
+	}
+	return c
+}
+
+// TestCallerSavesPreallocation checks behaviour equivalence and that the
+// extension reduces memory traffic on the motivating pattern when it is
+// the only interprocedural mechanism active (spill motion's FREE registers
+// would otherwise absorb the same values).
+func TestCallerSavesPreallocation(t *testing.T) {
+	sources := []Source{{Name: "main.mc", Text: []byte(callerSavesProgram)}}
+
+	base := compileAndRun(t, bareCallerSaves(false), sources...)
+	ext := compileAndRun(t, bareCallerSaves(true), sources...)
+	if ext.Exit != base.Exit {
+		t.Fatalf("extension changed behaviour: %d vs %d", ext.Exit, base.Exit)
+	}
+	t.Logf("cycles: bare=%d cs=%d; memrefs: bare=%d cs=%d",
+		base.Stats.Cycles, ext.Stats.Cycles, base.Stats.MemRefs(), ext.Stats.MemRefs())
+	if ext.Stats.MemRefs() >= base.Stats.MemRefs() {
+		t.Errorf("extension did not reduce memory references: %d vs %d",
+			ext.Stats.MemRefs(), base.Stats.MemRefs())
+	}
+	if ext.Stats.Cycles >= base.Stats.Cycles {
+		t.Errorf("extension did not reduce cycles: %d vs %d",
+			ext.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+// TestCallerSavesClobberSetsInDatabase verifies the directives: a tiny
+// leaf's advertised clobber set must be far smaller than the worst case,
+// and a recursive procedure's must stay conservative.
+func TestCallerSavesClobberSets(t *testing.T) {
+	sources := []Source{{Name: "main.mc", Text: []byte(`
+int tiny(int x) { return x + 1; }
+int rec(int n) { if (n <= 0) { return 0; } return rec(n - 1) + tiny(n); }
+int main() { return rec(5); }
+`)}}
+	p, err := Compile(sources, withCallerSaves())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := p.DB.Lookup("tiny")
+	if !tiny.HasClobber {
+		t.Fatal("leaf has no clobber set")
+	}
+	if tiny.ClobberAtCalls.Count() >= 11 {
+		t.Errorf("leaf clobber set not contracted: %s", tiny.ClobberAtCalls)
+	}
+	rec := p.DB.Lookup("rec")
+	if !rec.HasClobber {
+		t.Fatal("recursive procedure has no clobber set")
+	}
+	// Recursive chains fall back to (at least) the standard caller-saves.
+	if rec.ClobberAtCalls.Count() < 11 {
+		t.Errorf("recursive clobber set suspiciously small: %s", rec.ClobberAtCalls)
+	}
+}
+
+// TestCallerSavesDifferential fuzzes the extension across generated
+// programs and all promotion modes.
+func TestCallerSavesDifferential(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23, 24} {
+		sources := genSources(seed)
+		base, err := Compile(sources, Level2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.Run(100_000_000, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mk := range []func() Config{ConfigA, ConfigC, ConfigD, ConfigE} {
+			cfg := mk()
+			cfg.Analyzer.CallerSavesPreallocation = true
+			cfg.Name += "+cs"
+			p, err := Compile(sources, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cfg.Name, err)
+			}
+			got, err := p.Run(100_000_000, false)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cfg.Name, err)
+			}
+			if got.Exit != want.Exit {
+				t.Errorf("seed %d: %s exit %d != L2 %d", seed, cfg.Name, got.Exit, want.Exit)
+			}
+		}
+	}
+}

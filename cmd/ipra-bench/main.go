@@ -1,0 +1,63 @@
+// ipra-bench regenerates the paper's evaluation tables over the Table 3
+// benchmark analogs:
+//
+//	ipra-bench -table 4        Table 4: % cycle improvement over level 2
+//	ipra-bench -table 5        Table 5: % singleton memory ref reduction
+//	ipra-bench -raw            absolute counters for every cell
+//	ipra-bench -webstats       §6.2 web census on a generated large program
+//	ipra-bench -bench NAME     restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ipra/internal/bench"
+	"ipra/internal/census"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "paper table to regenerate (4 or 5; 0 = both)")
+		raw      = flag.Bool("raw", false, "print absolute counter values")
+		webstats = flag.Bool("webstats", false, "print the §6.2 web census on a generated large program")
+		only     = flag.String("bench", "", "run a single benchmark")
+	)
+	flag.Parse()
+
+	if *webstats {
+		if err := census.Print(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	opt := bench.Options{}
+	if *only != "" {
+		opt.Benchmarks = []string{*only}
+	}
+	rows, err := bench.RunAll(opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *raw {
+		for _, r := range rows {
+			bench.WriteRaw(os.Stdout, r)
+			fmt.Println()
+		}
+		return
+	}
+	if *table == 0 || *table == 4 {
+		bench.WriteTable4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *table == 0 || *table == 5 {
+		bench.WriteTable5(os.Stdout, rows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ipra-bench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// mcc is the MiniC compiler driver, exposing the paper's two-pass
+// organization (Figure 1) as a command-line tool:
+//
+//	mcc -phase1 file.mc ...   parse/check each module, writing file.ir
+//	                          (intermediate code) and file.sum (summary)
+//	mcc -phase2 -pdb p.json file.ir ...
+//	                          optimize and generate a PARV object file
+//	                          (file.obj) for each module under the program
+//	                          database's directives
+//	mcc -link out.exe file.obj ...
+//	                          link objects into an executable image
+//
+// Run the program analyzer (ipra-analyze) between the phases; without a
+// program database, phase 2 compiles at plain level-2 optimization.
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ipra"
+	"ipra/internal/codegen"
+	"ipra/internal/ir"
+	"ipra/internal/irgen"
+	"ipra/internal/minic/parser"
+	"ipra/internal/minic/sem"
+	"ipra/internal/opt"
+	"ipra/internal/parv"
+	"ipra/internal/pdb"
+	"ipra/internal/summary"
+)
+
+func main() {
+	var (
+		phase1  = flag.Bool("phase1", false, "run the compiler first phase on MiniC sources")
+		phase2  = flag.Bool("phase2", false, "run the compiler second phase on intermediate files")
+		link    = flag.String("link", "", "link object files into the named executable image")
+		pdbPath = flag.String("pdb", "", "program database for phase 2 (from ipra-analyze)")
+		outDir  = flag.String("o", ".", "output directory")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *phase1:
+		err = runPhase1(flag.Args(), *outDir)
+	case *phase2:
+		err = runPhase2(flag.Args(), *pdbPath, *outDir)
+	case *link != "":
+		err = runLink(flag.Args(), *link)
+	default:
+		fmt.Fprintln(os.Stderr, "mcc: specify -phase1, -phase2, or -link (see -help)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func stem(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func runPhase1(files []string, outDir string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("phase1: no source files")
+	}
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		file, err := parser.ParseFile(filepath.Base(f), text)
+		if err != nil {
+			return err
+		}
+		mod, err := sem.Check(file)
+		if err != nil {
+			return err
+		}
+		irm, err := irgen.Generate(mod)
+		if err != nil {
+			return err
+		}
+		if err := ir.WriteFile(filepath.Join(outDir, stem(f)+".ir"), irm); err != nil {
+			return err
+		}
+		// Summaries reflect optimized code (§6).
+		ms := ipra.Summaries([]*ir.Module{irm})[0]
+		if err := summary.WriteFile(filepath.Join(outDir, stem(f)+".sum"), ms); err != nil {
+			return err
+		}
+		fmt.Printf("mcc: %s -> %s.ir, %s.sum\n", f, stem(f), stem(f))
+	}
+	return nil
+}
+
+func runPhase2(files []string, pdbPath, outDir string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("phase2: no intermediate files")
+	}
+	db := pdb.New()
+	if pdbPath != "" {
+		var err error
+		db, err = pdb.ReadFile(pdbPath)
+		if err != nil {
+			return err
+		}
+	}
+	eligible := make(map[string]bool)
+	for _, g := range db.EligibleGlobals {
+		eligible[g] = true
+	}
+	for _, f := range files {
+		m, err := ir.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		for _, fn := range m.Funcs {
+			dir := db.Lookup(fn.Name)
+			skip := make(map[string]bool)
+			for _, pg := range dir.Promoted {
+				skip[pg.Name] = true
+			}
+			opt.ApplyWebDirectives(fn, dir.Promoted)
+			opt.Level2(fn, eligible, skip)
+		}
+		obj, err := codegen.Compile(m, db)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(outDir, stem(f)+".obj")
+		if err := writeObject(out, obj); err != nil {
+			return err
+		}
+		fmt.Printf("mcc: %s -> %s\n", f, out)
+	}
+	return nil
+}
+
+func runLink(files []string, out string) error {
+	var objs []*parv.Object
+	for _, f := range files {
+		o, err := readObject(f)
+		if err != nil {
+			return err
+		}
+		objs = append(objs, o)
+	}
+	exe, err := parv.Link(objs, parv.LinkConfig{})
+	if err != nil {
+		return err
+	}
+	if err := writeExecutable(out, exe); err != nil {
+		return err
+	}
+	fmt.Printf("mcc: linked %d modules -> %s (%d instructions)\n", len(objs), out, len(exe.Code))
+	return nil
+}
+
+func writeObject(path string, o *parv.Object) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+func readObject(path string) (*parv.Object, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var o parv.Object
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&o); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &o, nil
+}
+
+func writeExecutable(path string, exe *parv.Executable) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(exe); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -1,0 +1,28 @@
+package ipra
+
+import (
+	"os"
+	"testing"
+
+	"ipra/internal/parv"
+)
+
+// TestDebugDump is a development aid: set IPRA_DEBUG=1 to dump the linked
+// code of a tiny program.
+func TestDebugDump(t *testing.T) {
+	if os.Getenv("IPRA_DEBUG") == "" {
+		t.Skip("set IPRA_DEBUG=1 to dump")
+	}
+	p, err := Compile([]Source{src("main.mc", `
+int add(int a, int b) { return a + b; }
+int main() {
+	int x = 3;
+	int y = 4;
+	return add(x * 2, y * 6);
+}
+`)}, Level2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parv.Disassemble(os.Stderr, p.Exe)
+}

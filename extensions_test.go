@@ -1,0 +1,250 @@
+package ipra
+
+import (
+	"testing"
+)
+
+// libSources is a "run-time library" program: an exported API over private
+// static state, plus an internal helper. Analyzed as a partial call graph
+// (§7.2), only the statics stay promotable and the exported procedures
+// must tolerate unknown callers.
+func libSources() []Source {
+	return []Source{
+		{Name: "lib.mc", Text: []byte(`
+static int cachedKey;
+static int cachedVal;
+int hits;
+
+static int probe(int k) {
+	if (k == cachedKey) { hits++; return cachedVal; }
+	return -1;
+}
+
+int lookup(int k) { return probe(k); }
+
+void install(int k, int v) {
+	cachedKey = k;
+	cachedVal = v;
+}
+
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 500; i++) {
+		install(i & 7, i);
+		sum += lookup(i & 7);
+	}
+	return (sum + hits) & 255;
+}
+`)},
+	}
+}
+
+// TestPartialCallGraphConservative checks §7.2: under partial-program
+// assumptions, exported globals are not promoted (external code may touch
+// them) while statics still are, and the compiled code stays correct.
+func TestPartialCallGraphConservative(t *testing.T) {
+	full := ConfigC()
+	fullProg, err := Compile(libSources(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := fullProg.Run(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	partial := ConfigC()
+	partial.Analyzer.PartialProgram = true
+	partialProg, err := Compile(libSources(), partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partialRes, err := partialProg.Run(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partialRes.Exit != fullRes.Exit {
+		t.Fatalf("partial-mode exit %d != full-mode exit %d", partialRes.Exit, fullRes.Exit)
+	}
+
+	// Under full analysis, `hits` is eligible; under partial it is not.
+	fullEligible := asSet(fullProg.DB.EligibleGlobals)
+	partEligible := asSet(partialProg.DB.EligibleGlobals)
+	if !fullEligible["hits"] {
+		t.Error("full analysis should find `hits` eligible")
+	}
+	if partEligible["hits"] {
+		t.Error("partial analysis must not promote exported global `hits`")
+	}
+	if !partEligible["lib.mc:cachedKey"] {
+		t.Errorf("partial analysis should keep statics eligible: %v", partialProg.DB.EligibleGlobals)
+	}
+
+	// The synthetic external caller exists and exported procedures are
+	// treated as reachable from it.
+	ext := partialProg.Analysis.Graph.NodeByName("<external>")
+	if ext == nil {
+		t.Fatal("no synthetic external caller in the partial call graph")
+	}
+	targets := map[string]bool{}
+	for _, e := range ext.Out {
+		targets[partialProg.Analysis.Graph.Nodes[e.To].Name] = true
+	}
+	for _, want := range []string{"lookup", "install", "main"} {
+		if !targets[want] {
+			t.Errorf("exported %s not marked externally callable", want)
+		}
+	}
+	if targets["lib.mc:probe"] {
+		t.Error("static procedure marked externally callable")
+	}
+
+	// No cluster may contain the external node, and none of the exported
+	// procedures may be a member of a cluster (their unknown callers
+	// violate predecessor closure).
+	for _, c := range partialProg.Analysis.Clusters.Clusters {
+		for _, m := range c.Members {
+			name := partialProg.Analysis.Graph.Nodes[m].Name
+			if name == "<external>" || name == "lookup" || name == "install" {
+				t.Errorf("%s must not be a cluster member in partial mode", name)
+			}
+		}
+	}
+}
+
+// TestWebMergingSharesEntries checks §7.6.1 re-merging: sibling procedures
+// each referencing a global, driven from a hot loop in main that does NOT
+// reference it, produce per-procedure singleton webs under the plain
+// algorithm (unprofitable: the entry transfers equal what level 2 already
+// does). Re-merging through main promotes the global across the whole loop.
+func TestWebMergingSharesEntries(t *testing.T) {
+	sources := []Source{{Name: "main.mc", Text: []byte(`
+int counter;
+
+void inc() { counter += 1; }
+void dec() { counter -= 1; }
+int get() { return counter; }
+
+int main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 3000; i++) {
+		inc();
+		inc();
+		dec();
+		acc += get();
+	}
+	return acc & 255;
+}
+`)}}
+
+	plain := ConfigC()
+	p1, err := Compile(sources, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p1.Run(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := ConfigC()
+	merged.Analyzer.MergeWebs = true
+	p2, err := Compile(sources, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p2.Run(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r1.Exit != r2.Exit {
+		t.Fatalf("merging changed behaviour: %d vs %d", r1.Exit, r2.Exit)
+	}
+	t.Logf("singleton refs: plain=%d merged=%d; cycles: plain=%d merged=%d",
+		r1.Stats.SingletonRefs(), r2.Stats.SingletonRefs(),
+		r1.Stats.Cycles, r2.Stats.Cycles)
+	if r2.Stats.SingletonRefs() >= r1.Stats.SingletonRefs() {
+		t.Errorf("merging did not reduce singleton refs: %d vs %d",
+			r2.Stats.SingletonRefs(), r1.Stats.SingletonRefs())
+	}
+	if r2.Stats.Cycles >= r1.Stats.Cycles {
+		t.Errorf("merging did not reduce cycles: %d vs %d", r2.Stats.Cycles, r1.Stats.Cycles)
+	}
+
+	// The merged web spans main and all three accessors with main as its
+	// single entry.
+	var found bool
+	for _, w := range p2.Analysis.Webs {
+		if w.Var != "counter" || w.Discarded {
+			continue
+		}
+		if len(w.Nodes) >= 4 {
+			found = true
+			if len(w.Entries) != 1 {
+				t.Errorf("merged web entries = %v, want exactly main", w.Entries)
+			}
+		}
+	}
+	if !found {
+		t.Error("no merged web spanning the accessors and main")
+	}
+}
+
+// TestMergeKeepsDifferentialCorrectness runs the generated-program fuzz
+// with MergeWebs enabled.
+func TestMergeKeepsDifferentialCorrectness(t *testing.T) {
+	runDifferentialWithConfig(t, func() Config {
+		c := ConfigC()
+		c.Analyzer.MergeWebs = true
+		c.Name = "C+merge"
+		return c
+	}())
+}
+
+// TestPartialKeepsDifferentialCorrectness runs the fuzz with the §7.2
+// conservative mode enabled.
+func TestPartialKeepsDifferentialCorrectness(t *testing.T) {
+	runDifferentialWithConfig(t, func() Config {
+		c := ConfigC()
+		c.Analyzer.PartialProgram = true
+		c.Name = "C+partial"
+		return c
+	}())
+}
+
+func runDifferentialWithConfig(t *testing.T, cfg Config) {
+	t.Helper()
+	for _, seed := range []int64{11, 12, 13} {
+		sources := genSources(seed)
+		base, err := Compile(sources, Level2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.Run(100_000_000, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(sources, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := p.Run(100_000_000, false)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.Exit != want.Exit {
+			t.Errorf("seed %d: %s exit %d != L2 exit %d", seed, cfg.Name, got.Exit, want.Exit)
+		}
+	}
+}
+
+func asSet(ss []string) map[string]bool {
+	m := map[string]bool{}
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}

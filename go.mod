@@ -1,0 +1,3 @@
+module ipra
+
+go 1.22

@@ -1,0 +1,222 @@
+// Package bench regenerates the paper's evaluation tables: it compiles
+// every Table 3 benchmark analog under every Table 4 configuration, runs
+// it on the PARV simulator, and reports
+//
+//   - Table 4: percentage performance improvement (total cycles, no cache
+//     model) over level-2 optimization, and
+//   - Table 5: percentage reduction in dynamic singleton memory
+//     references over level-2 optimization,
+//
+// for configurations A–F, plus the §6.2 web census for the PA-optimizer
+// analog.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ipra"
+	"ipra/internal/benchprogs"
+)
+
+// Cell is one measurement of one benchmark under one configuration.
+type Cell struct {
+	Config string
+	// Exit and Output validate behavioural equivalence with the baseline.
+	Exit   int32
+	Output string
+
+	Cycles        uint64
+	Instrs        uint64
+	MemRefs       uint64
+	SingletonRefs uint64
+
+	// CyclesImprovement is the Table 4 number (percent, positive = faster).
+	CyclesImprovement float64
+	// SingletonReduction is the Table 5 number (percent).
+	SingletonReduction float64
+}
+
+// Row is one benchmark across all configurations.
+type Row struct {
+	Benchmark   string
+	Description string
+	Baseline    Cell // the L2 measurement
+	Cells       []Cell
+	// Mismatch records configurations whose behaviour diverged from L2
+	// (this must be empty; it is reported rather than panicking so the
+	// harness can show every benchmark).
+	Mismatch []string
+}
+
+// Options control a sweep.
+type Options struct {
+	// Benchmarks restricts the suite (nil = all).
+	Benchmarks []string
+	// MaxInstrsScale scales each benchmark's instruction budget.
+	MaxInstrsScale float64
+}
+
+// RunBenchmark measures one benchmark under the baseline and every
+// configuration.
+func RunBenchmark(b benchprogs.Benchmark) (*Row, error) {
+	files, err := b.Sources()
+	if err != nil {
+		return nil, err
+	}
+	var sources []ipra.Source
+	for _, f := range files {
+		sources = append(sources, ipra.Source{Name: f.Name, Text: f.Text})
+	}
+
+	row := &Row{Benchmark: b.Name, Description: b.Description}
+
+	base, err := measure(sources, ipra.Level2(), b.MaxInstrs)
+	if err != nil {
+		return nil, fmt.Errorf("%s/L2: %w", b.Name, err)
+	}
+	row.Baseline = *base
+
+	for _, cfg := range ipra.Configs() {
+		cell, err := measure(sources, cfg, b.MaxInstrs)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, cfg.Name, err)
+		}
+		cell.CyclesImprovement = pctImprovement(base.Cycles, cell.Cycles)
+		cell.SingletonReduction = pctImprovement(base.SingletonRefs, cell.SingletonRefs)
+		if cell.Exit != base.Exit || cell.Output != base.Output {
+			row.Mismatch = append(row.Mismatch, cfg.Name)
+		}
+		row.Cells = append(row.Cells, *cell)
+	}
+	return row, nil
+}
+
+func measure(sources []ipra.Source, cfg ipra.Config, maxInstrs uint64) (*Cell, error) {
+	var p *ipra.Program
+	var err error
+	if cfg.WantProfile {
+		p, _, err = ipra.CompileProfiled(sources, cfg, maxInstrs)
+	} else {
+		p, err = ipra.Compile(sources, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Run(maxInstrs, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Cell{
+		Config:        cfg.Name,
+		Exit:          res.Exit,
+		Output:        res.Output,
+		Cycles:        res.Stats.Cycles,
+		Instrs:        res.Stats.Instrs,
+		MemRefs:       res.Stats.MemRefs(),
+		SingletonRefs: res.Stats.SingletonRefs(),
+	}, nil
+}
+
+func pctImprovement(base, v uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(base) - float64(v)) / float64(base)
+}
+
+// RunAll measures the whole suite.
+func RunAll(opt Options) ([]*Row, error) {
+	var rows []*Row
+	for _, b := range benchprogs.All() {
+		if len(opt.Benchmarks) > 0 && !contains(opt.Benchmarks, b.Name) {
+			continue
+		}
+		row, err := RunBenchmark(b)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// legend matches the paper's Table 4 key.
+var legend = []string{
+	"A = Spill motion only",
+	"B = Spill motion w/profile info",
+	"C = Spill motion & 6 reg coloring",
+	"D = Spill motion & greedy coloring",
+	"E = Spill motion & blanket promotion",
+	"F = Spill motion & 6 reg coloring w/profile info",
+}
+
+// WriteTable4 renders the Table 4 analog: percentage performance
+// improvement over level-2 optimization.
+func WriteTable4(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "Percentage Performance Improvement Over Level 2 Optimization")
+	fmt.Fprintln(w, "(total cycles measured by the PARV simulator, no cache model)")
+	fmt.Fprintln(w)
+	writeHeader(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Benchmark)
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, " %6.1f", c.CyclesImprovement)
+		}
+		if len(r.Mismatch) > 0 {
+			fmt.Fprintf(w, "   !! behaviour mismatch: %s", strings.Join(r.Mismatch, ","))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	for _, l := range legend {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// WriteTable5 renders the Table 5 analog: percent reduction in dynamic
+// singleton memory references.
+func WriteTable5(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "Percent Reduction in Dynamic Singleton Memory References")
+	fmt.Fprintln(w, "(Over Level 2 Optimization)")
+	fmt.Fprintln(w)
+	writeHeader(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Benchmark)
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, " %6.1f", c.SingletonReduction)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func writeHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-10s", "Benchmark")
+	for _, c := range []string{"A", "B", "C", "D", "E", "F"} {
+		fmt.Fprintf(w, " %6s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteRaw renders the absolute counter values for one row.
+func WriteRaw(w io.Writer, r *Row) {
+	fmt.Fprintf(w, "%s (%s)\n", r.Benchmark, r.Description)
+	fmt.Fprintf(w, "  %-4s %12s %12s %12s %12s\n", "cfg", "instrs", "cycles", "memrefs", "singleton")
+	p := func(c *Cell) {
+		fmt.Fprintf(w, "  %-4s %12d %12d %12d %12d\n", c.Config, c.Instrs, c.Cycles, c.MemRefs, c.SingletonRefs)
+	}
+	p(&r.Baseline)
+	for i := range r.Cells {
+		p(&r.Cells[i])
+	}
+}

@@ -1,0 +1,106 @@
+// Package benchprogs embeds the MiniC benchmark suite — analogs of the
+// paper's Table 3 programs — and exposes them to the test and benchmark
+// harnesses.
+//
+// Each program is deterministic (no I/O, LCG-driven workloads) and ends by
+// returning a checksum, so every compiler configuration can be validated
+// to produce behaviourally identical code before its statistics are
+// compared.
+package benchprogs
+
+import (
+	"embed"
+	"fmt"
+)
+
+//go:embed src/*.mc
+var srcFS embed.FS
+
+// SourceFile is one MiniC module of a benchmark.
+type SourceFile struct {
+	Name string
+	Text []byte
+}
+
+// Benchmark describes one Table 3 analog.
+type Benchmark struct {
+	// Name matches the paper's Table 3 row it stands in for.
+	Name string
+	// Description mirrors the Table 3 description column.
+	Description string
+	// Files are the module sources, in build order.
+	Files []string
+	// MaxInstrs bounds simulation (guards against miscompiled loops).
+	MaxInstrs uint64
+}
+
+// All returns the suite in the paper's Table 3 order.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Name:        "dhrystone",
+			Description: "Popular CPU benchmark",
+			Files:       []string{"dhry_main.mc", "dhry_procs.mc"},
+			MaxInstrs:   80_000_000,
+		},
+		{
+			Name:        "fgrep",
+			Description: "Text pattern matching tool",
+			Files:       []string{"fgrep_main.mc", "fgrep_text.mc"},
+			MaxInstrs:   200_000_000,
+		},
+		{
+			Name:        "othello",
+			Description: "Game program",
+			Files:       []string{"othello_main.mc", "othello_engine.mc"},
+			MaxInstrs:   400_000_000,
+		},
+		{
+			Name:        "war",
+			Description: "Game program",
+			Files:       []string{"war_main.mc", "war_deck.mc"},
+			MaxInstrs:   200_000_000,
+		},
+		{
+			Name:        "crtool",
+			Description: "Prototype code repositioning tool",
+			Files:       []string{"crtool_main.mc", "crtool_graph.mc"},
+			MaxInstrs:   400_000_000,
+		},
+		{
+			Name:        "protoc",
+			Description: "A fast C compiler, compiling itself",
+			Files:       []string{"protoc_main.mc", "protoc_lex.mc"},
+			MaxInstrs:   200_000_000,
+		},
+		{
+			Name:        "paopt",
+			Description: "PA optimizer, optimizing Othello",
+			Files:       []string{"paopt_main.mc", "paopt_passes.mc", "paopt_ir.mc"},
+			MaxInstrs:   400_000_000,
+		},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchprogs: unknown benchmark %q", name)
+}
+
+// Sources loads the benchmark's module sources.
+func (b Benchmark) Sources() ([]SourceFile, error) {
+	var out []SourceFile
+	for _, f := range b.Files {
+		data, err := srcFS.ReadFile("src/" + f)
+		if err != nil {
+			return nil, fmt.Errorf("benchprogs: %s: %w", b.Name, err)
+		}
+		out = append(out, SourceFile{Name: f, Text: data})
+	}
+	return out, nil
+}

@@ -1,0 +1,588 @@
+// Package callgraph builds and analyzes the program call graph from
+// summary files, as the program analyzer does in §4 of the paper.
+//
+// It provides the supporting analyses the promotion and spill-motion
+// algorithms need: start nodes, indirect-call edges (§7.3), strongly
+// connected components (recursive call chains), dominators (for cluster
+// identification, §4.2.1), and estimated call counts — either the
+// compile-time heuristic counts normalized over the graph (§6.2) or exact
+// profile counts (§7.5).
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"ipra/internal/parv"
+	"ipra/internal/summary"
+)
+
+// Edge is a call arc with an estimated (or profiled) dynamic count.
+type Edge struct {
+	From, To int
+	Count    float64
+	Indirect bool
+	// LocalFreq is the raw loop-depth-weighted count from the summary.
+	LocalFreq int64
+}
+
+// Node is a procedure in the program call graph.
+type Node struct {
+	ID     int
+	Name   string
+	Module string
+
+	// Rec is the procedure's summary record; nil for external procedures
+	// (run-time library routines not exposed to the analyzer, §7.2).
+	Rec *summary.ProcRecord
+
+	Out []*Edge
+	In  []*Edge
+
+	// SCC is the strongly connected component index; components are
+	// numbered in reverse topological order (callees before callers).
+	SCC int
+	// Recursive is set for nodes in a non-trivial SCC or with a self-loop.
+	Recursive bool
+
+	// IDom is the immediate dominator's node ID (-1 for start nodes).
+	IDom int
+	// DomDepth is the depth in the dominator tree.
+	DomDepth int
+
+	// Count estimates how many times the node is called at run time.
+	Count float64
+}
+
+// GlobalMeta is the merged, program-wide view of one global variable.
+type GlobalMeta struct {
+	Name      string
+	Module    string // defining module
+	Size      int32
+	Static    bool
+	Scalar    bool
+	Defined   bool
+	AddrTaken bool // aliased in any module
+}
+
+// Graph is the program call graph.
+type Graph struct {
+	Nodes  []*Node
+	byName map[string]int
+
+	// Starts lists nodes with no predecessors ("Every node without a
+	// predecessor is treated as a start node", §4.1.2 fn 2).
+	Starts []int
+
+	// Globals merges the module-level global tables.
+	Globals map[string]*GlobalMeta
+
+	// AddrTakenProcs is the set of procedures whose addresses are computed
+	// anywhere (the conservative indirect-call target set, §7.3).
+	AddrTakenProcs map[string]bool
+}
+
+// NodeByName returns the node with the given qualified name, or nil.
+func (g *Graph) NodeByName(name string) *Node {
+	if id, ok := g.byName[name]; ok {
+		return g.Nodes[id]
+	}
+	return nil
+}
+
+// Build constructs the call graph from module summaries.
+func Build(summaries []*summary.ModuleSummary) (*Graph, error) {
+	g := &Graph{
+		byName:         make(map[string]int),
+		Globals:        make(map[string]*GlobalMeta),
+		AddrTakenProcs: make(map[string]bool),
+	}
+
+	// Merge global tables across modules.
+	for _, ms := range summaries {
+		for i := range ms.Globals {
+			gi := &ms.Globals[i]
+			meta := g.Globals[gi.Name]
+			if meta == nil {
+				meta = &GlobalMeta{Name: gi.Name}
+				g.Globals[gi.Name] = meta
+			}
+			if gi.Defined {
+				meta.Defined = true
+				meta.Module = gi.Module
+				meta.Size = gi.Size
+				meta.Scalar = gi.Scalar
+				meta.Static = gi.Static
+			}
+			if gi.AddrTaken {
+				meta.AddrTaken = true
+			}
+		}
+	}
+
+	// Create nodes for every summarized procedure.
+	addNode := func(name, module string, rec *summary.ProcRecord) *Node {
+		if id, ok := g.byName[name]; ok {
+			n := g.Nodes[id]
+			if n.Rec == nil && rec != nil {
+				n.Rec = rec
+				n.Module = module
+			} else if rec != nil && n.Rec != nil {
+				// Duplicate definition: the linker would reject it too.
+				n.Rec = rec
+			}
+			return n
+		}
+		n := &Node{ID: len(g.Nodes), Name: name, Module: module, Rec: rec, IDom: -1}
+		g.Nodes = append(g.Nodes, n)
+		g.byName[name] = n.ID
+		return n
+	}
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			rec := &ms.Procs[i]
+			addNode(rec.Name, rec.Module, rec)
+			for _, at := range rec.AddrTakenProcs {
+				g.AddrTakenProcs[at] = true
+			}
+		}
+	}
+	// External callees (runtime routines) become record-less leaf nodes.
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			for _, cs := range ms.Procs[i].Calls {
+				addNode(cs.Callee, "", nil)
+			}
+		}
+	}
+	for at := range g.AddrTakenProcs {
+		addNode(at, "", nil)
+	}
+
+	// Direct call edges.
+	addEdge := func(from, to int, freq int64, indirect bool) {
+		e := &Edge{From: from, To: to, LocalFreq: freq, Indirect: indirect}
+		g.Nodes[from].Out = append(g.Nodes[from].Out, e)
+		g.Nodes[to].In = append(g.Nodes[to].In, e)
+	}
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			rec := &ms.Procs[i]
+			from := g.byName[rec.Name]
+			for _, cs := range rec.Calls {
+				addEdge(from, g.byName[cs.Callee], cs.Freq, false)
+			}
+			// Indirect calls: conservatively, every address-taken procedure
+			// is a possible target (§7.3).
+			if rec.MakesIndirectCalls {
+				targets := sortedSet(g.AddrTakenProcs)
+				for _, t := range targets {
+					freq := rec.IndirectCallFreq / int64(len(targets))
+					if freq == 0 {
+						freq = 1
+					}
+					addEdge(from, g.byName[t], freq, true)
+				}
+			}
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if len(n.In) == 0 {
+			g.Starts = append(g.Starts, n.ID)
+		}
+	}
+	if len(g.Starts) == 0 {
+		// Entirely cyclic program: fall back to main, or node 0.
+		if id, ok := g.byName["main"]; ok {
+			g.Starts = []int{id}
+		} else if len(g.Nodes) > 0 {
+			g.Starts = []int{0}
+		} else {
+			return nil, fmt.Errorf("callgraph: empty program")
+		}
+	}
+
+	g.computeSCC()
+	g.computeDominators()
+	return g, nil
+}
+
+// AddSyntheticCaller adds a record-less node representing unknown external
+// code that may call each of the target nodes (used for partial call
+// graphs, §7.2). The new node becomes a start node and the derived
+// analyses (SCCs, dominators, start set) are recomputed.
+func (g *Graph) AddSyntheticCaller(name string, targets []int) *Node {
+	n := &Node{ID: len(g.Nodes), Name: name, IDom: -1}
+	g.Nodes = append(g.Nodes, n)
+	g.byName[name] = n.ID
+	for _, t := range targets {
+		e := &Edge{From: n.ID, To: t, LocalFreq: 1}
+		n.Out = append(n.Out, e)
+		g.Nodes[t].In = append(g.Nodes[t].In, e)
+	}
+	g.Starts = g.Starts[:0]
+	for _, nd := range g.Nodes {
+		if len(nd.In) == 0 {
+			g.Starts = append(g.Starts, nd.ID)
+		}
+	}
+	g.computeSCC()
+	g.computeDominators()
+	return n
+}
+
+func sortedSet(m map[string]bool) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ----------------------------------------------------------------------------
+// Strongly connected components (Tarjan, iterative).
+
+func (g *Graph) computeSCC() {
+	n := len(g.Nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		var callStack []frame
+		callStack = append(callStack, frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.ei < len(g.Nodes[v].Out) {
+				w := g.Nodes[v].Out[f.ei].To
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+
+	// Tarjan emits components in reverse topological order (callees first).
+	for ci, comp := range sccs {
+		for _, v := range comp {
+			g.Nodes[v].SCC = ci
+			g.Nodes[v].Recursive = len(comp) > 1
+		}
+	}
+	// Self-loops are recursive too.
+	for _, nd := range g.Nodes {
+		for _, e := range nd.Out {
+			if e.To == nd.ID {
+				nd.Recursive = true
+			}
+		}
+	}
+}
+
+// SameSCC reports whether two nodes are in the same strongly connected
+// component (i.e. mutually recursive).
+func (g *Graph) SameSCC(a, b int) bool { return g.Nodes[a].SCC == g.Nodes[b].SCC }
+
+// ----------------------------------------------------------------------------
+// Dominators (iterative Cooper–Harvey–Kennedy over a virtual root).
+
+func (g *Graph) computeDominators() {
+	n := len(g.Nodes)
+	// Reverse postorder from a virtual root that precedes all start nodes.
+	rpo := g.ReversePostorder()
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range rpo {
+		rpoNum[v] = i
+	}
+
+	const virtualRoot = -1
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -2 // unset
+	}
+	for _, s := range g.Starts {
+		idom[s] = virtualRoot
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			if a == virtualRoot || b == virtualRoot {
+				return virtualRoot
+			}
+			for a != b && rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+				if a == virtualRoot {
+					break
+				}
+			}
+			for a != b && a != virtualRoot && rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+				if b == virtualRoot {
+					break
+				}
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, v := range rpo {
+			if idom[v] == virtualRoot && isStart(g, v) {
+				continue
+			}
+			newIdom := -2
+			for _, e := range g.Nodes[v].In {
+				p := e.From
+				if idom[p] == -2 {
+					continue // predecessor not yet processed
+				}
+				if newIdom == -2 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom == -2 {
+				continue
+			}
+			if idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for _, nd := range g.Nodes {
+		nd.IDom = idom[nd.ID]
+		if nd.IDom == -2 {
+			nd.IDom = virtualRoot // unreachable; treat as its own start
+		}
+	}
+	// Dominator tree depths.
+	var depth func(v int) int
+	memo := make(map[int]int)
+	depth = func(v int) int {
+		if v == virtualRoot {
+			return 0
+		}
+		if d, ok := memo[v]; ok {
+			return d
+		}
+		memo[v] = 0 // cycle guard (cannot happen in a valid dom tree)
+		d := depth(g.Nodes[v].IDom) + 1
+		memo[v] = d
+		return d
+	}
+	for _, nd := range g.Nodes {
+		nd.DomDepth = depth(nd.ID)
+	}
+}
+
+func isStart(g *Graph, v int) bool {
+	for _, s := range g.Starts {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Dominates reports whether a dominates b (every path from a start node to
+// b passes through a). A node dominates itself.
+func (g *Graph) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = g.Nodes[b].IDom
+	}
+	return false
+}
+
+// ReversePostorder returns node IDs in reverse postorder of a DFS from the
+// start nodes (callers before callees on acyclic paths). Unreachable nodes
+// are appended at the end.
+func (g *Graph) ReversePostorder() []int {
+	n := len(g.Nodes)
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(v int)
+	dfs = func(v int) {
+		visited[v] = true
+		for _, e := range g.Nodes[v].Out {
+			if !visited[e.To] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, v)
+	}
+	for _, s := range g.Starts {
+		if !visited[s] {
+			dfs(s)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			dfs(v)
+		}
+	}
+	// Reverse.
+	out := make([]int, len(post))
+	for i, v := range post {
+		out[len(post)-1-i] = v
+	}
+	return out
+}
+
+// Postorder returns node IDs in postorder (callees before callers on
+// acyclic paths) — the "depth-first (bottom-up) order" of §4.1.2.
+func (g *Graph) Postorder() []int {
+	rpo := g.ReversePostorder()
+	out := make([]int, len(rpo))
+	for i, v := range rpo {
+		out[len(rpo)-1-i] = v
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Call count estimation
+
+// EstimateCounts assigns Edge.Count and Node.Count from the raw local
+// frequencies, normalizing over the whole call graph as §6.2 describes:
+// the analyzer "normalizes the raw heuristic call counts obtained from the
+// summary files over the entire program call graph, increasing the weights
+// on recursive arcs and arcs to leaf nodes."
+func (g *Graph) EstimateCounts() {
+	// Damped relative propagation from the start nodes. Node frequencies
+	// are computed iteratively; cycles are bounded by the damping factor.
+	for _, nd := range g.Nodes {
+		nd.Count = 0
+	}
+	for _, s := range g.Starts {
+		g.Nodes[s].Count = 1
+	}
+
+	const rounds = 12
+	for r := 0; r < rounds; r++ {
+		next := make([]float64, len(g.Nodes))
+		for _, s := range g.Starts {
+			next[s] = 1
+		}
+		for _, nd := range g.Nodes {
+			for _, e := range nd.Out {
+				w := float64(e.LocalFreq)
+				if w <= 0 {
+					w = 1
+				}
+				// Boost recursive arcs: a call inside a cycle repeats.
+				if g.SameSCC(e.From, e.To) {
+					w *= 8
+				}
+				// Boost arcs to leaves: leaf calls dominate dynamically.
+				if len(g.Nodes[e.To].Out) == 0 {
+					w *= 2
+				}
+				contribution := nd.Count * w
+				// Damp to guarantee convergence on cyclic graphs.
+				if contribution > 1e12 {
+					contribution = 1e12
+				}
+				next[e.To] += contribution
+			}
+		}
+		for i, nd := range g.Nodes {
+			if next[i] > nd.Count {
+				nd.Count = next[i]
+			}
+		}
+	}
+
+	for _, nd := range g.Nodes {
+		for _, e := range nd.Out {
+			w := float64(e.LocalFreq)
+			if w <= 0 {
+				w = 1
+			}
+			if g.SameSCC(e.From, e.To) {
+				w *= 8
+			}
+			if len(g.Nodes[e.To].Out) == 0 {
+				w *= 2
+			}
+			e.Count = nd.Count * w
+		}
+	}
+}
+
+// ApplyProfile overrides the heuristic counts with exact profiled counts
+// (§7.5). Edges absent from the profile get count 0; nodes keep a tiny
+// epsilon so priority functions never divide by zero.
+func (g *Graph) ApplyProfile(p *parv.Profile) {
+	for _, nd := range g.Nodes {
+		nd.Count = float64(p.Calls[nd.Name])
+		if isStart(g, nd.ID) && nd.Count == 0 {
+			nd.Count = 1
+		}
+		for _, e := range nd.Out {
+			e.Count = float64(p.Edges[parv.EdgeKey{Caller: nd.Name, Callee: g.Nodes[e.To].Name}])
+		}
+	}
+}

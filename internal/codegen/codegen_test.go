@@ -1,0 +1,449 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"ipra/internal/codegen"
+	"ipra/internal/irgen"
+	"ipra/internal/minic/parser"
+	"ipra/internal/minic/sem"
+	"ipra/internal/opt"
+	"ipra/internal/parv"
+	"ipra/internal/pdb"
+	"ipra/internal/regs"
+)
+
+// compileModule lowers MiniC source with per-procedure directives and
+// returns the linked executable.
+func compileModule(t *testing.T, src string, db *pdb.Database) *parv.Executable {
+	t.Helper()
+	f, err := parser.ParseFile("m.mc", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irm, err := irgen.Generate(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range irm.Funcs {
+		dir := db.Lookup(fn.Name)
+		opt.ApplyWebDirectives(fn, dir.Promoted)
+		opt.Level2(fn, nil, nil)
+	}
+	obj, err := codegen.Compile(irm, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := parv.Link([]*parv.Object{obj}, parv.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+func run(t *testing.T, exe *parv.Executable) (*parv.VM, int32) {
+	t.Helper()
+	vm := parv.NewVM(exe)
+	exit, err := vm.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, exit
+}
+
+// objFuncOf extracts the code range of one linked function.
+func objFuncOf(exe *parv.Executable, name string) []parv.Instr {
+	fi := exe.Funcs[exe.FuncIdx[name]]
+	return exe.Code[fi.Start:fi.End]
+}
+
+func TestClusterRootSavesAllMSpill(t *testing.T) {
+	// main uses nothing, but as a cluster root with MSPILL={r8,r9} it must
+	// save and restore both registers anyway (§4.2.3).
+	db := pdb.New()
+	d := pdb.Standard("main")
+	d.MSpill = regs.Of(8, 9)
+	d.Callee = d.Callee.Minus(regs.Of(8, 9))
+	d.IsClusterRoot = true
+	db.Procs["main"] = d
+
+	exe := compileModule(t, `int main() { return 5; }`, db)
+	code := objFuncOf(exe, "main")
+	saves := map[uint8]bool{}
+	for _, in := range code {
+		if in.Op == parv.STW && in.Ra == parv.RegSP {
+			saves[in.Rb] = true
+		}
+	}
+	if !saves[8] || !saves[9] {
+		t.Errorf("MSPILL registers not saved at root; code:\n%v", code)
+	}
+	_, exit := run(t, exe)
+	if exit != 5 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestNonRootSavesOnlyUsedMSpill(t *testing.T) {
+	db := pdb.New()
+	d := pdb.Standard("main")
+	d.MSpill = regs.Of(8, 9)
+	d.Callee = d.Callee.Minus(regs.Of(8, 9))
+	d.IsClusterRoot = false // not a root: only used MSPILL registers spill
+	db.Procs["main"] = d
+
+	exe := compileModule(t, `int main() { return 5; }`, db)
+	code := objFuncOf(exe, "main")
+	for _, in := range code {
+		if in.Op == parv.STW {
+			t.Errorf("non-root with unused MSPILL saved something: %v", in)
+		}
+	}
+}
+
+func TestFreeRegistersAvoidSpill(t *testing.T) {
+	// A procedure with values live across a call: with FREE registers it
+	// should emit no callee-saves save/restore at all.
+	src := `
+int h(int x) { return x + 1; }
+int f(int a, int b) {
+	int t1 = a * 3;
+	int t2 = b * 5;
+	int u = h(a);
+	return t1 + t2 + u;
+}
+int main() { return f(3, 4); }
+`
+	db := pdb.New()
+	d := pdb.Standard("f")
+	d.Free = regs.Of(8, 9, 10, 11)
+	d.Callee = d.Callee.Minus(d.Free)
+	db.Procs["f"] = d
+
+	exe := compileModule(t, src, db)
+	code := objFuncOf(exe, "f")
+	for _, in := range code {
+		if in.Op == parv.STW && in.Ra == parv.RegSP && parv.IsCalleeSaved(in.Rb) {
+			t.Errorf("f spills callee-saves register despite FREE set: %v", in)
+		}
+	}
+	_, exit := run(t, exe)
+	if exit != 3*3+4*5+4 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestCalleeSavesSpilledWhenUsed(t *testing.T) {
+	// Standard convention: values across a call force a callee-saves
+	// register, which must be saved and restored.
+	src := `
+int h(int x) { return x + 1; }
+int f(int a) {
+	int t = a * 7;
+	int u = h(a);
+	return t + u;
+}
+int main() { return f(3); }
+`
+	exe := compileModule(t, src, pdb.New())
+	code := objFuncOf(exe, "f")
+	savedCallee := false
+	for _, in := range code {
+		if in.Op == parv.STW && in.Ra == parv.RegSP && parv.IsCalleeSaved(in.Rb) {
+			savedCallee = true
+		}
+	}
+	if !savedCallee {
+		t.Errorf("no callee-saves spill in standard convention:\n%v", code)
+	}
+	_, exit := run(t, exe)
+	if exit != 21+4 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestWebEntryLoadStore(t *testing.T) {
+	src := `
+int g = 10;
+int main() {
+	g = g + 5;
+	return g;
+}
+`
+	db := pdb.New()
+	d := pdb.Standard("main")
+	d.Promoted = []pdb.PromotedGlobal{{Name: "g", Reg: 17, IsEntry: true, NeedStore: true}}
+	d.Callee = d.Callee.Minus(regs.Of(17))
+	db.Procs["main"] = d
+
+	exe := compileModule(t, src, db)
+	code := objFuncOf(exe, "main")
+	var loads, stores, bodyRefs int
+	for _, in := range code {
+		if in.Op == parv.LDW && in.Ra == parv.RegDP && in.Rd == 17 {
+			loads++
+		}
+		if in.Op == parv.STW && in.Ra == parv.RegDP && in.Rb == 17 {
+			stores++
+		}
+		if (in.Op == parv.LDW || in.Op == parv.STW) && in.Ra == parv.RegDP &&
+			in.Rd != 17 && in.Rb != 17 {
+			bodyRefs++
+		}
+	}
+	if loads != 1 || stores != 1 {
+		t.Errorf("web entry load/store = %d/%d, want 1/1:\n%v", loads, stores, code)
+	}
+	if bodyRefs != 0 {
+		t.Errorf("body still references g in memory (%d refs)", bodyRefs)
+	}
+	// The caller's r17 is preserved: entry must save it too.
+	saved := false
+	for _, in := range code {
+		if in.Op == parv.STW && in.Ra == parv.RegSP && in.Rb == 17 {
+			saved = true
+		}
+	}
+	if !saved {
+		t.Error("web entry does not preserve the caller's value of the dedicated register")
+	}
+	vm, exit := run(t, exe)
+	if exit != 15 {
+		t.Errorf("exit = %d, want 15", exit)
+	}
+	// The store-back must have updated memory.
+	_ = vm
+}
+
+func TestReadOnlyWebOmitsStore(t *testing.T) {
+	src := `
+int g = 42;
+int main() { return g; }
+`
+	db := pdb.New()
+	d := pdb.Standard("main")
+	d.Promoted = []pdb.PromotedGlobal{{Name: "g", Reg: 17, IsEntry: true, NeedStore: false}}
+	d.Callee = d.Callee.Minus(regs.Of(17))
+	db.Procs["main"] = d
+
+	exe := compileModule(t, src, db)
+	code := objFuncOf(exe, "main")
+	for _, in := range code {
+		if in.Op == parv.STW && in.Ra == parv.RegDP {
+			t.Errorf("read-only web emitted a store: %v", in)
+		}
+	}
+	_, exit := run(t, exe)
+	if exit != 42 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestRegisterPressureSpills(t *testing.T) {
+	// 20 simultaneously live values exceed any register budget: the
+	// allocator must spill and still compute the right answer.
+	src := `
+int main() {
+	int a0 = 1; int a1 = 2; int a2 = 3; int a3 = 4; int a4 = 5;
+	int a5 = 6; int a6 = 7; int a7 = 8; int a8 = 9; int a9 = 10;
+	int b0 = a0*2; int b1 = a1*2; int b2 = a2*2; int b3 = a3*2; int b4 = a4*2;
+	int b5 = a5*2; int b6 = a6*2; int b7 = a7*2; int b8 = a8*2; int b9 = a9*2;
+	// Use everything twice so nothing is dead and sums interleave.
+	int s1 = a0+a1+a2+a3+a4+a5+a6+a7+a8+a9;
+	int s2 = b0+b1+b2+b3+b4+b5+b6+b7+b8+b9;
+	int s3 = a0+b9+a1+b8+a2+b7+a3+b6+a4+b5;
+	return s1 + s2 + s3; // 55 + 110 + (1+20+2+18+3+16+4+14+5+12)=95 -> 260
+}
+`
+	exe := compileModule(t, src, pdb.New())
+	_, exit := run(t, exe)
+	if exit != 260 {
+		t.Errorf("exit = %d, want 260", exit)
+	}
+}
+
+// TestPressureUnderTinyRegisterFile squeezes the allocator to very few
+// usable registers via directives.
+func TestPressureUnderTinyRegisterFile(t *testing.T) {
+	src := `
+int h(int x) { return x * 2; }
+int f(int a, int b, int c) {
+	int t1 = a + b;
+	int t2 = b + c;
+	int t3 = a * c;
+	int u1 = h(t1);
+	int u2 = h(t2);
+	return t1 + t2 + t3 + u1 + u2;
+}
+int main() { return f(1, 2, 3); }
+`
+	db := pdb.New()
+	d := pdb.Standard("f")
+	d.Callee = regs.Of(3, 4) // only two callee-saves usable
+	db.Procs["f"] = d
+
+	exe := compileModule(t, src, db)
+	_, exit := run(t, exe)
+	// t1=3 t2=5 t3=3 u1=6 u2=10 -> 27
+	if exit != 27 {
+		t.Errorf("exit = %d, want 27", exit)
+	}
+}
+
+func TestManyArgsThroughStack(t *testing.T) {
+	src := `
+int sum9(int a, int b, int c, int d, int e, int f, int g, int h, int i) {
+	return a + b + c + d + e + f + g + h + i;
+}
+int main() { return sum9(1,2,3,4,5,6,7,8,9); }
+`
+	exe := compileModule(t, src, pdb.New())
+	_, exit := run(t, exe)
+	if exit != 45 {
+		t.Errorf("exit = %d, want 45", exit)
+	}
+}
+
+func TestCharGlobalPromotion(t *testing.T) {
+	// A 1-byte web-promoted global: entry load/store must be byte-sized
+	// (regression test for the misaligned-word trap).
+	src := `
+char flag;
+int main() {
+	flag = flag + 1;
+	return flag;
+}
+`
+	db := pdb.New()
+	d := pdb.Standard("main")
+	d.Promoted = []pdb.PromotedGlobal{{Name: "flag", Reg: 18, IsEntry: true, NeedStore: true}}
+	d.Callee = d.Callee.Minus(regs.Of(18))
+	db.Procs["main"] = d
+	exe := compileModule(t, src, db)
+	code := objFuncOf(exe, "main")
+	for _, in := range code {
+		if (in.Op == parv.LDW || in.Op == parv.STW) && in.Ra == parv.RegDP && in.MemSize != 1 {
+			t.Errorf("char web access with width %d: %v", in.MemSize, in)
+		}
+	}
+	_, exit := run(t, exe)
+	if exit != 1 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestCompareBranchFusion(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int n = 0;
+	for (i = 0; i < 10; i++) { n += i; }
+	return n;
+}
+`
+	exe := compileModule(t, src, pdb.New())
+	code := objFuncOf(exe, "main")
+	cmps, cbs := 0, 0
+	for _, in := range code {
+		switch in.Op {
+		case parv.CMP, parv.CMPI:
+			cmps++
+		case parv.CB, parv.CBI:
+			cbs++
+		}
+	}
+	if cbs == 0 {
+		t.Error("no fused compare-and-branch emitted")
+	}
+	if cmps > 0 {
+		t.Errorf("%d standalone compares remain (fusion missed)", cmps)
+	}
+	_, exit := run(t, exe)
+	if exit != 45 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestLeafFunctionHasNoFrame(t *testing.T) {
+	src := `
+int leaf(int x) { return x * 2 + 1; }
+int main() { return leaf(4); }
+`
+	exe := compileModule(t, src, pdb.New())
+	code := objFuncOf(exe, "leaf")
+	for _, in := range code {
+		if in.Op == parv.SUBI && in.Rd == parv.RegSP {
+			t.Errorf("leaf allocated a frame: %v", code)
+		}
+		if in.Op == parv.STW {
+			t.Errorf("leaf stored to memory: %v", code)
+		}
+	}
+	_, exit := run(t, exe)
+	if exit != 9 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestValidateDirectivesConsumed(t *testing.T) {
+	// Directives whose CALLER set is augmented (cluster post-pass) let
+	// non-crossing values use hoisted registers; behaviour must hold.
+	src := `
+int h(int x) { return x ^ 3; }
+int f(int a) {
+	int t = a * 5; // not live across the call
+	t = t + 1;
+	return h(t);
+}
+int main() { return f(2); }
+`
+	db := pdb.New()
+	d := pdb.Standard("f")
+	d.Caller = d.Caller.Union(regs.Of(8, 9)) // pretend MSPILL hoisting freed these
+	d.Callee = d.Callee.Minus(regs.Of(8, 9))
+	db.Procs["f"] = d
+	exe := compileModule(t, src, db)
+	_, exit := run(t, exe)
+	if exit != (2*5+1)^3 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+// TestIRLevelPromotionPipelineParity: the same function compiled with a
+// directive-pinned global and with plain memory accesses must agree.
+func TestIRLevelPromotionPipelineParity(t *testing.T) {
+	src := `
+int g;
+int bump(int x) { g = g + x; return g; }
+int main() {
+	int i;
+	g = 0;
+	for (i = 1; i <= 5; i++) { bump(i); }
+	return g;
+}
+`
+	plain := compileModule(t, src, pdb.New())
+	_, want := run(t, plain)
+
+	db := pdb.New()
+	for _, name := range []string{"main", "bump"} {
+		d := pdb.Standard(name)
+		d.Promoted = []pdb.PromotedGlobal{{
+			Name: "g", Reg: 17, IsEntry: name == "main", NeedStore: true,
+		}}
+		d.Callee = d.Callee.Minus(regs.Of(17))
+		db.Procs[name] = d
+	}
+	promoted := compileModule(t, src, db)
+	vm, got := run(t, promoted)
+	if got != want {
+		t.Errorf("promoted exit %d != plain exit %d", got, want)
+	}
+	if vm.Stats.SingletonRefs() > 4 {
+		t.Errorf("promotion left %d singleton refs", vm.Stats.SingletonRefs())
+	}
+}

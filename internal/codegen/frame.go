@@ -1,0 +1,259 @@
+package codegen
+
+import (
+	"fmt"
+
+	"ipra/internal/ir"
+	"ipra/internal/parv"
+	"ipra/internal/pdb"
+	"ipra/internal/regs"
+)
+
+// Compile translates an optimized IR module into a PARV object under the
+// program database directives.
+func Compile(mod *ir.Module, db *pdb.Database) (*parv.Object, error) {
+	obj := &parv.Object{Module: mod.Name}
+	for _, g := range mod.Globals {
+		ds := &parv.DataSym{Name: g.Name, Size: g.Size, Defined: g.Defined}
+		if g.Defined {
+			ds.Init = make([]byte, g.Size)
+			copy(ds.Init, g.Init)
+			for _, r := range g.Relocs {
+				ds.DataRelocs = append(ds.DataRelocs, parv.DataReloc{
+					Offset: r.Offset, Target: r.Target, Addend: r.Addend,
+				})
+			}
+		}
+		obj.Globals = append(obj.Globals, ds)
+	}
+	// Per-callee clobber sets (the §7.6.2 caller-saves preallocation);
+	// zero means "unknown: assume the worst case".
+	clobberOf := func(callee string) regs.Set {
+		d := db.Lookup(callee)
+		if d.HasClobber {
+			return d.ClobberAtCalls
+		}
+		return 0
+	}
+	for _, f := range mod.Funcs {
+		dir := db.Lookup(f.Name)
+		of, err := compileFunc(f, mod, dir, clobberOf)
+		if err != nil {
+			return nil, err
+		}
+		obj.Funcs = append(obj.Funcs, of)
+	}
+	return obj, nil
+}
+
+// CompileFunc lowers, allocates, and emits one function under worst-case
+// call clobber assumptions (no per-callee information).
+func CompileFunc(f *ir.Func, mod *ir.Module, dir *pdb.ProcDirectives) (*parv.ObjFunc, error) {
+	return compileFunc(f, mod, dir, nil)
+}
+
+func compileFunc(f *ir.Func, mod *ir.Module, dir *pdb.ProcDirectives, clobberOf func(string) regs.Set) (*parv.ObjFunc, error) {
+	lf, err := lower(f, mod, dir)
+	if err != nil {
+		return nil, err
+	}
+	res, err := allocate(lf, dir, clobberOf)
+	if err != nil {
+		return nil, err
+	}
+	sizeOf := func(name string) uint8 {
+		if g := mod.GlobalByName(name); g != nil && (g.Size == 1 || g.Size == 2) {
+			return uint8(g.Size)
+		}
+		return 4
+	}
+	return emit(lf, dir, res, sizeOf)
+}
+
+// emit lays out prologue, body, and epilogue, resolves intra-function
+// branches, and produces the relocatable object function. sizeOf reports
+// the access width of a promoted global (chars load/store a single byte).
+func emit(f *lfunc, dir *pdb.ProcDirectives, res *allocResult, sizeOf func(string) uint8) (*parv.ObjFunc, error) {
+	// ---- Which registers must be saved in the prologue?
+	saved := res.usedCallee
+	if dir.IsClusterRoot {
+		// "All registers in the MSPILL set at a cluster root node must be
+		// saved on entry and restored on exit, regardless of whether they
+		// are actually used inside that procedure" (§4.2.3).
+		saved = saved.Union(dir.MSpill)
+	} else {
+		saved = saved.Union(res.usedMSpill)
+	}
+	// Web entry procedures overwrite the dedicated callee-saves register
+	// with the promoted global: preserve the caller's value around it.
+	var entryWebs []pdb.PromotedGlobal
+	for _, p := range dir.Promoted {
+		if p.IsEntry {
+			saved = saved.Add(p.Reg)
+			entryWebs = append(entryWebs, p)
+		}
+	}
+
+	savedList := saved.Regs()
+	saveRP := f.makesCalls
+
+	// ---- Frame layout (stack grows down; SP stays put within the body):
+	//   SP+0 .. outArgs-1            outgoing stack arguments
+	//   SP+outArgs ..                locals (IR frame)
+	//   .. + 4*spillSlots            register spill slots
+	//   .. + 4*len(savedList)        saved callee-saves registers
+	//   .. + 4 (if saveRP)           saved return pointer
+	saveBase := f.outArgs + f.frameLocal + 4*res.spillSlots
+	frameSize := saveBase + 4*int32(len(savedList))
+	rpOff := frameSize
+	if saveRP {
+		frameSize += 4
+	}
+	frameSize = (frameSize + 7) &^ 7
+
+	var code []parv.Instr
+	var relocs []parv.Reloc
+
+	add := func(in parv.Instr, rel *parv.Reloc) {
+		if rel != nil {
+			r := *rel
+			r.Index = len(code)
+			relocs = append(relocs, r)
+		}
+		code = append(code, in)
+	}
+
+	// ---- Prologue.
+	if frameSize > 0 {
+		add(parv.Instr{Op: parv.SUBI, Rd: parv.RegSP, Ra: parv.RegSP, Imm: frameSize}, nil)
+	}
+	for i, r := range savedList {
+		add(parv.Instr{Op: parv.STW, Ra: parv.RegSP, Rb: r, Imm: saveBase + 4*int32(i), MemSize: 4}, nil)
+	}
+	if saveRP {
+		add(parv.Instr{Op: parv.STW, Ra: parv.RegSP, Rb: parv.RegRP, Imm: rpOff, MemSize: 4}, nil)
+	}
+	// Web entry: load the promoted global into its dedicated register (§5).
+	for _, p := range entryWebs {
+		add(parv.Instr{Op: parv.LDW, Rd: p.Reg, Ra: parv.RegDP, MemSize: sizeOf(p.Name), Singleton: true},
+			&parv.Reloc{Kind: parv.RelDataDisp, Sym: p.Name})
+	}
+
+	// ---- Body: compute block start offsets with fallthrough elimination.
+	// First pass sizes each block.
+	type layout struct {
+		start int
+	}
+	las := make([]layout, len(f.blocks))
+	// Decide which trailing unconditional branches fall through.
+	drop := make([]bool, len(f.blocks))
+	for i, b := range f.blocks {
+		if n := len(b.instrs); n > 0 {
+			last := b.instrs[n-1]
+			if last.op == parv.B && last.target == i+1 && i+1 < len(f.blocks) {
+				drop[i] = true
+			}
+		}
+	}
+	pos := len(code)
+	for i, b := range f.blocks {
+		las[i].start = pos
+		pos += len(b.instrs)
+		if drop[i] {
+			pos--
+		}
+	}
+	epilogueStart := pos
+
+	resolve := func(t int) int32 {
+		if t == epilogueBlock {
+			return int32(epilogueStart)
+		}
+		return int32(las[t].start)
+	}
+
+	for i, b := range f.blocks {
+		n := len(b.instrs)
+		for j := 0; j < n; j++ {
+			if drop[i] && j == n-1 {
+				continue
+			}
+			in := b.instrs[j]
+			m, rel, err := materialize(&in, frameSize)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", f.name, err)
+			}
+			switch in.op {
+			case parv.B, parv.CB, parv.CBI:
+				m.Target = resolve(in.target)
+			}
+			add(m, rel)
+		}
+	}
+	if pos != len(code) {
+		return nil, fmt.Errorf("%s: layout mismatch (%d != %d)", f.name, pos, len(code))
+	}
+
+	// ---- Epilogue.
+	for _, p := range entryWebs {
+		if p.NeedStore {
+			add(parv.Instr{Op: parv.STW, Ra: parv.RegDP, Rb: p.Reg, MemSize: sizeOf(p.Name), Singleton: true},
+				&parv.Reloc{Kind: parv.RelDataDisp, Sym: p.Name})
+		}
+	}
+	for i, r := range savedList {
+		add(parv.Instr{Op: parv.LDW, Rd: r, Ra: parv.RegSP, Imm: saveBase + 4*int32(i), MemSize: 4}, nil)
+	}
+	if saveRP {
+		add(parv.Instr{Op: parv.LDW, Rd: parv.RegRP, Ra: parv.RegSP, Imm: rpOff, MemSize: 4}, nil)
+	}
+	if frameSize > 0 {
+		add(parv.Instr{Op: parv.ADDI, Rd: parv.RegSP, Ra: parv.RegSP, Imm: frameSize}, nil)
+	}
+	add(parv.Instr{Op: parv.BV, Ra: parv.RegRP}, nil)
+
+	return &parv.ObjFunc{Name: f.name, Code: code, Relocs: relocs}, nil
+}
+
+// materialize converts an allocated linstr to a parv.Instr, applying frame
+// fixups, and returns the relocation if any.
+func materialize(in *linstr, frameSize int32) (parv.Instr, *parv.Reloc, error) {
+	p := func(v vreg) (uint8, error) {
+		if !v.isPhys() {
+			return 0, fmt.Errorf("unallocated register %s in %v", v, in.op)
+		}
+		return uint8(v), nil
+	}
+	rd, err := p(in.rd)
+	if err != nil {
+		return parv.Instr{}, nil, err
+	}
+	ra, err := p(in.ra)
+	if err != nil {
+		return parv.Instr{}, nil, err
+	}
+	rb, err := p(in.rb)
+	if err != nil {
+		return parv.Instr{}, nil, err
+	}
+	m := parv.Instr{
+		Op: in.op, Rd: rd, Ra: ra, Rb: rb,
+		Imm: in.imm, Cond: in.cond,
+		MemSize: in.memSize, Singleton: in.singleton,
+	}
+	if in.fixup == fixIncomingArg {
+		m.Imm = frameSize + 4*in.imm
+	}
+	var rel *parv.Reloc
+	if in.hasRel {
+		rel = &parv.Reloc{Kind: in.relKind, Sym: in.sym}
+		if in.relKind == parv.RelDataAddr {
+			rel.Addend = in.imm
+			m.Imm = 0
+		}
+	}
+	return m, rel, nil
+}
+
+// Used by diagnostics in tests.
+var _ = regs.Set(0)

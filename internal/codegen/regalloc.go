@@ -1,0 +1,452 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"ipra/internal/parv"
+	"ipra/internal/pdb"
+	"ipra/internal/regs"
+)
+
+// allocResult reports what the allocator used, for prologue generation.
+type allocResult struct {
+	usedCallee regs.Set // CALLEE registers that need save/restore
+	usedMSpill regs.Set // MSPILL registers actually used (root saves all anyway)
+	spillSlots int32    // number of 4-byte spill slots appended to the frame
+}
+
+// defUse appends the instruction's uses to buf and returns (def, uses).
+// Physical and virtual registers both participate; r0 is ignored.
+func (in *linstr) defUse(buf []vreg) (vreg, []vreg) {
+	use := func(v vreg) {
+		if v != 0 {
+			buf = append(buf, v)
+		}
+	}
+	switch in.op {
+	case parv.LDI, parv.NOP, parv.B:
+		// no register uses
+	case parv.MOV, parv.ADDI, parv.SUBI, parv.ANDI, parv.ORI, parv.XORI,
+		parv.SHLI, parv.SHRI, parv.NEG, parv.NOT, parv.CMPI, parv.LDW:
+		use(in.ra)
+	case parv.ADD, parv.SUB, parv.MUL, parv.DIV, parv.REM,
+		parv.AND, parv.OR, parv.XOR, parv.SHL, parv.SHR, parv.CMP:
+		use(in.ra)
+		use(in.rb)
+	case parv.STW:
+		use(in.ra)
+		use(in.rb)
+	case parv.CB:
+		use(in.ra)
+		use(in.rb)
+	case parv.CBI, parv.BV:
+		use(in.ra)
+	case parv.BL, parv.BLR:
+		for _, a := range in.argsUsed {
+			use(a)
+		}
+	}
+	switch in.op {
+	case parv.STW, parv.B, parv.CB, parv.CBI, parv.BV, parv.NOP:
+		return -1, buf
+	case parv.BL, parv.BLR:
+		return vreg(parv.RegRP), buf
+	default:
+		return in.rd, buf
+	}
+}
+
+// hasEffect reports whether the instruction must be kept even if its
+// result is dead.
+func (in *linstr) hasEffect() bool {
+	switch in.op {
+	case parv.STW, parv.BL, parv.BLR, parv.BV, parv.B, parv.CB, parv.CBI, parv.SYS:
+		return true
+	case parv.DIV, parv.REM:
+		return true
+	}
+	// Writes to physical registers always matter (arg setup, returns).
+	return in.rd.isPhys() && in.rd != 0
+}
+
+// allocate colors the function's virtual registers using the program
+// database directives, spilling as needed, and rewrites the LIR to
+// physical registers. It implements §5's allocation discipline:
+//
+//	"The CALLER set ... is examined to obtain caller-saves registers for
+//	 local coloring. For callee-saves registers, the FREE set is checked
+//	 before the CALLEE set."
+func allocate(f *lfunc, dir *pdb.ProcDirectives, clobberOf func(callee string) regs.Set) (*allocResult, error) {
+	res := &allocResult{}
+
+	// Registers clobbered by a call when nothing better is known: anything
+	// that may not hold a live value across calls — CALLER and MSPILL sets
+	// — plus the linkage registers rp and ret0.
+	worstClobber := dir.Caller.Union(dir.MSpill).Add(parv.RegRP).Add(parv.RegRet)
+	clobberFor := func(in *linstr) regs.Set {
+		if in.op == parv.BL && clobberOf != nil {
+			if c := clobberOf(in.sym); !c.Empty() {
+				// Never exceed the worst case (a callee cannot clobber
+				// registers this procedure treats as preserved); always
+				// include the linkage registers, and keep this procedure's
+				// MSPILL set call-clobbered — by definition those registers
+				// may not hold values across calls (§4.2.3).
+				return c.Intersect(worstClobber).
+					Union(dir.MSpill).Add(parv.RegRP).Add(parv.RegRet)
+			}
+		}
+		return worstClobber
+	}
+
+	// Call-crossing values: FREE first (no cost), then caller-saves
+	// registers (succeed only when every crossed call's clobber set spares
+	// them — the §7.6.2 caller-saves preallocation), then CALLEE
+	// (save/restore cost).
+	crossPref := append(dir.Free.Regs(), dir.Caller.Regs()...)
+	crossPref = append(crossPref, dir.Callee.Regs()...)
+	localPref := dir.Caller.Regs()
+	localPref = append(localPref, dir.MSpill.Regs()...)
+	localPref = append(localPref, dir.Free.Regs()...)
+	localPref = append(localPref, dir.Callee.Regs()...)
+
+	for round := 0; ; round++ {
+		if round > 64 {
+			return nil, fmt.Errorf("codegen: %s: register allocation did not converge", f.name)
+		}
+		deadElim(f)
+
+		n := int(vregBase) + int(f.nvregs)
+		adj := make([]map[vreg]bool, n)
+		interfere := func(a, b vreg) {
+			if a == b || a == 0 || b == 0 {
+				return
+			}
+			if adj[a] == nil {
+				adj[a] = make(map[vreg]bool)
+			}
+			if adj[b] == nil {
+				adj[b] = make(map[vreg]bool)
+			}
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+
+		liveOut := lirLiveness(f, n)
+		crosses := make([]bool, n)
+		cost := make([]float64, n)
+
+		var buf []vreg
+		for _, b := range f.blocks {
+			live := make(map[vreg]bool)
+			for v := range liveOut[b.id] {
+				live[v] = true
+			}
+			w := depthWeight(b.loopDepth)
+			for i := len(b.instrs) - 1; i >= 0; i-- {
+				in := &b.instrs[i]
+				var def vreg
+				def, buf = in.defUse(buf[:0])
+
+				if in.isCall {
+					for v := range live {
+						if v != def && !v.isPhys() {
+							crosses[v] = true
+						}
+					}
+					for _, c := range clobberFor(in).Regs() {
+						for v := range live {
+							if v != vreg(c) {
+								interfere(vreg(c), v)
+							}
+						}
+					}
+				}
+
+				if def >= 0 && def != 0 {
+					for v := range live {
+						if in.op == parv.MOV && v == in.ra {
+							continue // moves don't make src/dst interfere
+						}
+						if v != def {
+							interfere(def, v)
+						}
+					}
+					delete(live, def)
+					if !def.isPhys() {
+						cost[def] += w
+					}
+				}
+				if in.isCall {
+					delete(live, vreg(parv.RegRet)) // calls define ret0
+				}
+				for _, u := range buf {
+					live[u] = true
+					if !u.isPhys() {
+						cost[u] += w
+					}
+				}
+			}
+		}
+
+		// Color in priority (cost) order.
+		order := make([]vreg, 0, f.nvregs)
+		for v := vregBase; v < vregBase+vreg(f.nvregs); v++ {
+			if cost[v] > 0 || adj[v] != nil {
+				order = append(order, v)
+			}
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return cost[order[i]] > cost[order[j]]
+		})
+
+		assign := make(map[vreg]uint8)
+		var failed vreg = -1
+		for _, v := range order {
+			prefs := localPref
+			if crosses[v] {
+				prefs = crossPref
+			}
+			var got int16 = -1
+			for _, r := range prefs {
+				ok := true
+				for nb := range adj[v] {
+					if nb.isPhys() {
+						if uint8(nb) == r {
+							ok = false
+							break
+						}
+					} else if a, has := assign[nb]; has && a == r {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					got = int16(r)
+					break
+				}
+			}
+			if got < 0 {
+				failed = v
+				break
+			}
+			assign[v] = uint8(got)
+		}
+
+		if failed >= 0 {
+			spillVreg(f, failed, res)
+			continue
+		}
+
+		// Success: rewrite and account for save/restore needs.
+		for _, r := range assign {
+			if dir.Callee.Has(r) {
+				res.usedCallee = res.usedCallee.Add(r)
+			}
+			if dir.MSpill.Has(r) {
+				res.usedMSpill = res.usedMSpill.Add(r)
+			}
+		}
+		rewrite(f, assign)
+		return res, nil
+	}
+}
+
+func depthWeight(d int) float64 {
+	w := 1.0
+	for i := 0; i < d && i < 6; i++ {
+		w *= 10
+	}
+	return w
+}
+
+// lirLiveness computes live-out sets per block over all registers.
+func lirLiveness(f *lfunc, n int) []map[vreg]bool {
+	use := make([]map[vreg]bool, len(f.blocks))
+	def := make([]map[vreg]bool, len(f.blocks))
+	var buf []vreg
+	for _, b := range f.blocks {
+		u, d := make(map[vreg]bool), make(map[vreg]bool)
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			var dd vreg
+			dd, buf = in.defUse(buf[:0])
+			for _, x := range buf {
+				if !d[x] {
+					u[x] = true
+				}
+			}
+			if dd >= 0 && dd != 0 {
+				d[dd] = true
+			}
+			if in.isCall {
+				d[vreg(parv.RegRet)] = true
+			}
+		}
+		use[b.id], def[b.id] = u, d
+	}
+	liveIn := make([]map[vreg]bool, len(f.blocks))
+	liveOut := make([]map[vreg]bool, len(f.blocks))
+	for i := range liveIn {
+		liveIn[i] = make(map[vreg]bool)
+		liveOut[i] = make(map[vreg]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.blocks) - 1; i >= 0; i-- {
+			b := f.blocks[i]
+			out := liveOut[b.id]
+			for _, s := range b.succs {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[b.id]
+			for v := range out {
+				if !def[b.id][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range use[b.id] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveOut
+}
+
+// deadElim removes instructions that define virtual registers nobody reads.
+func deadElim(f *lfunc) {
+	n := int(vregBase) + int(f.nvregs)
+	for {
+		liveOut := lirLiveness(f, n)
+		removed := false
+		var buf []vreg
+		for _, b := range f.blocks {
+			live := liveOut[b.id]
+			l := make(map[vreg]bool, len(live))
+			for v := range live {
+				l[v] = true
+			}
+			var kept []linstr
+			for i := len(b.instrs) - 1; i >= 0; i-- {
+				in := b.instrs[i]
+				var def vreg
+				def, buf = in.defUse(buf[:0])
+				if !in.hasEffect() && def > 0 && !def.isPhys() && !l[def] {
+					removed = true
+					continue
+				}
+				if def >= 0 && def != 0 {
+					delete(l, def)
+				}
+				if in.isCall {
+					delete(l, vreg(parv.RegRet))
+				}
+				for _, u := range buf {
+					l[u] = true
+				}
+				kept = append(kept, in)
+			}
+			for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+				kept[i], kept[j] = kept[j], kept[i]
+			}
+			b.instrs = kept
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// spillVreg gives v a frame slot, rewriting each definition to store and
+// each use to reload through a fresh short-lived register.
+func spillVreg(f *lfunc, v vreg, res *allocResult) {
+	slot := res.spillSlots
+	res.spillSlots++
+	off := f.outArgs + f.frameLocal + slot*4
+
+	var buf []vreg
+	for _, b := range f.blocks {
+		var out []linstr
+		for i := range b.instrs {
+			in := b.instrs[i]
+			def, uses := in.defUse(buf[:0])
+			buf = uses
+
+			usesV := false
+			for _, u := range uses {
+				if u == v {
+					usesV = true
+				}
+			}
+			if usesV {
+				t := f.newVreg()
+				out = append(out, linstr{op: parv.LDW, rd: t, ra: vreg(parv.RegSP), imm: off, memSize: 4})
+				replaceUses(&in, v, t)
+			}
+			if def == v {
+				t := f.newVreg()
+				in.rd = t
+				out = append(out, in)
+				out = append(out, linstr{op: parv.STW, ra: vreg(parv.RegSP), rb: t, imm: off, memSize: 4})
+				continue
+			}
+			out = append(out, in)
+		}
+		b.instrs = out
+	}
+}
+
+func replaceUses(in *linstr, old, nw vreg) {
+	if in.ra == old {
+		in.ra = nw
+	}
+	if in.rb == old {
+		in.rb = nw
+	}
+	for i := range in.argsUsed {
+		if in.argsUsed[i] == old {
+			in.argsUsed[i] = nw
+		}
+	}
+}
+
+// rewrite substitutes assigned physical registers and drops identity moves.
+func rewrite(f *lfunc, assign map[vreg]uint8) {
+	sub := func(v vreg) vreg {
+		if v.isPhys() {
+			return v
+		}
+		if r, ok := assign[v]; ok {
+			return vreg(r)
+		}
+		// Unreferenced leftover (defined but dead): map to the scratch
+		// register; deadElim should have removed these.
+		return vreg(parv.RegAT)
+	}
+	for _, b := range f.blocks {
+		var out []linstr
+		for i := range b.instrs {
+			in := b.instrs[i]
+			in.rd = sub(in.rd)
+			in.ra = sub(in.ra)
+			in.rb = sub(in.rb)
+			for j := range in.argsUsed {
+				in.argsUsed[j] = sub(in.argsUsed[j])
+			}
+			if in.op == parv.MOV && in.rd == in.ra {
+				continue // identity move
+			}
+			out = append(out, in)
+		}
+		b.instrs = out
+	}
+}

@@ -1,0 +1,265 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	s := NewBitSet(200)
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(199)
+	for _, i := range []int{0, 63, 64, 199} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Errorf("count = %d", s.Count())
+	}
+	s.Clear(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Error("clear failed")
+	}
+}
+
+func TestBitSetProperties(t *testing.T) {
+	f := func(xs []uint16, ys []uint16) bool {
+		a := NewBitSet(1 << 16)
+		b := NewBitSet(1 << 16)
+		in := map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x))
+			in[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			in[int(y)] = true
+		}
+		changed := a.OrWith(b)
+		// a must now contain the union.
+		for k := range in {
+			if !a.Has(k) {
+				return false
+			}
+		}
+		if a.Count() != len(in) {
+			return false
+		}
+		// A second OrWith with the same set never changes anything.
+		if a.OrWith(b) {
+			return false
+		}
+		_ = changed
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildDiamond creates:
+//
+//	b0: v1 = 1;           branch v1 -> b1 | b2
+//	b1: v2 = v1 + v1;     jump b3
+//	b2: v3 = 7;  v2 = v3; jump b3
+//	b3: ret v2
+func buildDiamond() *Func {
+	f := &Func{Name: "diamond"}
+	v1, v2, v3 := f.NewReg(), f.NewReg(), f.NewReg()
+	f.Blocks = []*Block{
+		{ID: 0, Instrs: []Instr{{Op: Const, Dst: v1, Imm: 1}},
+			Term: Term{Kind: TermBranch, Cond: v1, True: 1, False: 2}},
+		{ID: 1, Instrs: []Instr{{Op: Add, Dst: v2, A: v1, B: v1}},
+			Term: Term{Kind: TermJump, True: 3}},
+		{ID: 2, Instrs: []Instr{{Op: Const, Dst: v3, Imm: 7}, {Op: Copy, Dst: v2, A: v3}},
+			Term: Term{Kind: TermJump, True: 3}},
+		{ID: 3, Term: Term{Kind: TermReturn, Val: v2, HasVal: true}},
+	}
+	f.Recompute()
+	return f
+}
+
+func TestRecomputeEdges(t *testing.T) {
+	f := buildDiamond()
+	if !reflect.DeepEqual(f.Blocks[0].Succs, []int{1, 2}) {
+		t.Errorf("b0 succs = %v", f.Blocks[0].Succs)
+	}
+	if !reflect.DeepEqual(f.Blocks[3].Preds, []int{1, 2}) {
+		t.Errorf("b3 preds = %v", f.Blocks[3].Preds)
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := buildDiamond().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	f := buildDiamond()
+	f.Blocks[1].Term = Term{Kind: TermJump, True: 99}
+	if err := f.Validate(); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+
+	f = buildDiamond()
+	f.Blocks[0].Term.Cond = 0
+	if err := f.Validate(); err == nil {
+		t.Error("branch without condition accepted")
+	}
+
+	f = buildDiamond()
+	f.Blocks[1].Instrs[0].A = 999
+	if err := f.Validate(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+
+	f = buildDiamond()
+	f.Blocks[2].ID = 7
+	if err := f.Validate(); err == nil {
+		t.Error("misnumbered block accepted")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := buildDiamond()
+	lv := ComputeLiveness(f)
+	v1, v2 := 1, 2
+	// v1 is live into b1 (used there) but dead into b2.
+	if !lv.In[1].Has(v1) {
+		t.Error("v1 should be live into b1")
+	}
+	if lv.In[2].Has(v1) {
+		t.Error("v1 should be dead into b2")
+	}
+	// v2 is live into b3 from both sides.
+	if !lv.In[3].Has(v2) {
+		t.Error("v2 should be live into b3")
+	}
+	if lv.In[0].Has(v2) {
+		t.Error("v2 should not be live into entry")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// b0: v1=0 -> b1;  b1: v2=v1+v1; branch v2 -> b1 | b2;  b2: ret v1
+	f := &Func{Name: "loop"}
+	v1, v2 := f.NewReg(), f.NewReg()
+	f.Blocks = []*Block{
+		{ID: 0, Instrs: []Instr{{Op: Const, Dst: v1, Imm: 0}}, Term: Term{Kind: TermJump, True: 1}},
+		{ID: 1, Instrs: []Instr{{Op: Add, Dst: v2, A: v1, B: v1}},
+			Term: Term{Kind: TermBranch, Cond: v2, True: 1, False: 2}},
+		{ID: 2, Term: Term{Kind: TermReturn, Val: v1, HasVal: true}},
+	}
+	f.Recompute()
+	lv := ComputeLiveness(f)
+	// v1 must be live around the back edge.
+	if !lv.Out[1].Has(int(v1)) || !lv.In[1].Has(int(v1)) {
+		t.Error("v1 must stay live through the loop")
+	}
+}
+
+func TestUsesAndDefs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []Reg
+		def  Reg
+	}{
+		{Instr{Op: Const, Dst: 5, Imm: 1}, nil, 5},
+		{Instr{Op: Copy, Dst: 5, A: 3}, []Reg{3}, 5},
+		{Instr{Op: Add, Dst: 5, A: 3, B: 4}, []Reg{3, 4}, 5},
+		{Instr{Op: Neg, Dst: 5, A: 3}, []Reg{3}, 5},
+		{Instr{Op: Load, Dst: 5, Mem: MemRef{Kind: MemGlobal, Sym: "g", Size: 4}}, nil, 5},
+		{Instr{Op: Load, Dst: 5, Mem: MemRef{Kind: MemPtr, Base: 7, Size: 4}}, []Reg{7}, 5},
+		{Instr{Op: Store, A: 3, Mem: MemRef{Kind: MemPtr, Base: 7, Size: 4}}, []Reg{3, 7}, 0},
+		{Instr{Op: Store, A: 3, Mem: MemRef{Kind: MemFrame, Size: 4}}, []Reg{3}, 0},
+		{Instr{Op: Call, Dst: 5, Callee: "f", Args: []Reg{1, 2}}, []Reg{1, 2}, 5},
+		{Instr{Op: Call, IndirectCall: true, A: 9, Args: []Reg{1}}, []Reg{9, 1}, 0},
+		{Instr{Op: AddrGlobal, Dst: 5, Callee: "g"}, nil, 5},
+		{Instr{Op: AddrFrame, Dst: 5, Imm: 8}, nil, 5},
+	}
+	for i, tc := range cases {
+		got := tc.in.Uses(nil)
+		if !reflect.DeepEqual(got, tc.uses) {
+			t.Errorf("case %d (%s): uses = %v, want %v", i, tc.in.Op, got, tc.uses)
+		}
+		if d := tc.in.Def(); d != tc.def {
+			t.Errorf("case %d (%s): def = %v, want %v", i, tc.in.Op, d, tc.def)
+		}
+	}
+}
+
+func TestSideEffects(t *testing.T) {
+	if (&Instr{Op: Add}).HasSideEffects() {
+		t.Error("add has no side effects")
+	}
+	for _, op := range []Op{Store, Call, Div, Rem} {
+		if !(&Instr{Op: op}).HasSideEffects() {
+			t.Errorf("%s must have side effects", op)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := &Module{Name: "m.mc", Funcs: []*Func{buildDiamond()},
+		Globals: []*Global{{Name: "g", Size: 4, Defined: true, Init: []byte{1, 2, 3, 4}, Scalar: true}}}
+	c := m.Clone()
+	c.Funcs[0].Blocks[0].Instrs[0].Imm = 99
+	c.Globals[0].Init[0] = 0xff
+	if m.Funcs[0].Blocks[0].Instrs[0].Imm == 99 {
+		t.Error("clone shares instruction storage")
+	}
+	if m.Globals[0].Init[0] == 0xff {
+		t.Error("clone shares init storage")
+	}
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	f := buildDiamond()
+	f.Pinned = map[Reg]uint8{3: 17}
+	m := &Module{
+		Name:  "m.mc",
+		Funcs: []*Func{f},
+		Globals: []*Global{{
+			Name: "g", Module: "m.mc", Size: 4, Defined: true,
+			Init: []byte{9, 8, 7, 6}, Scalar: true,
+			Relocs: []Reloc{{Offset: 0, Target: "other"}},
+		}},
+		ExternFuncs: []string{"putchar"},
+	}
+	path := t.TempDir() + "/m.ir"
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || len(got.Funcs) != 1 || len(got.Globals) != 1 {
+		t.Fatalf("roundtrip lost structure: %+v", got)
+	}
+	if got.Funcs[0].Pinned[3] != 17 {
+		t.Error("pinned registers lost in roundtrip")
+	}
+	if !reflect.DeepEqual(got.Globals[0], m.Globals[0]) {
+		t.Errorf("global mismatch: %+v vs %+v", got.Globals[0], m.Globals[0])
+	}
+	if err := got.Funcs[0].Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPin(t *testing.T) {
+	f := &Func{Name: "f"}
+	r := f.Pin(17)
+	if !f.IsPinned(r) {
+		t.Error("pinned register not recorded")
+	}
+	if f.IsPinned(f.NewReg()) {
+		t.Error("fresh register reported pinned")
+	}
+}

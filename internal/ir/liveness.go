@@ -1,0 +1,132 @@
+package ir
+
+// BitSet is a dense bit set over virtual register numbers (or any small
+// non-negative integers). The zero value of a properly sized BitSet is
+// empty.
+type BitSet []uint64
+
+// NewBitSet returns a bit set able to hold values in [0, n].
+func NewBitSet(n int) BitSet { return make(BitSet, (n+64)/64) }
+
+// Set adds i to the set.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << uint(i%64) }
+
+// Clear removes i from the set.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << uint(i%64) }
+
+// Has reports whether i is in the set.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+
+// OrWith unions other into s, reporting whether s changed.
+func (s BitSet) OrWith(other BitSet) bool {
+	changed := false
+	for i := range s {
+		old := s[i]
+		s[i] |= other[i]
+		if s[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy copies other into s.
+func (s BitSet) Copy(other BitSet) { copy(s, other) }
+
+// Count returns the number of elements.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Liveness holds per-block live-in/live-out sets for a function's virtual
+// registers.
+type Liveness struct {
+	In  []BitSet
+	Out []BitSet
+}
+
+// ComputeLiveness runs the classic backward dataflow over the CFG. The
+// function's Preds/Succs must be current (call Recompute first).
+func ComputeLiveness(f *Func) *Liveness {
+	n := len(f.Blocks)
+	nr := int(f.NextReg)
+	lv := &Liveness{In: make([]BitSet, n), Out: make([]BitSet, n)}
+	use := make([]BitSet, n)
+	def := make([]BitSet, n)
+	for i := range lv.In {
+		lv.In[i] = NewBitSet(nr)
+		lv.Out[i] = NewBitSet(nr)
+		use[i] = NewBitSet(nr)
+		def[i] = NewBitSet(nr)
+	}
+
+	var scratch []Reg
+	for _, b := range f.Blocks {
+		u, d := use[b.ID], def[b.ID]
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			scratch = in.Uses(scratch[:0])
+			for _, r := range scratch {
+				if !d.Has(int(r)) {
+					u.Set(int(r))
+				}
+			}
+			if dr := in.Def(); dr != 0 {
+				d.Set(int(dr))
+			}
+		}
+		if b.Term.Kind == TermBranch && b.Term.Cond != 0 {
+			if !d.Has(int(b.Term.Cond)) {
+				u.Set(int(b.Term.Cond))
+			}
+		}
+		if b.Term.Kind == TermReturn && b.Term.HasVal {
+			if !d.Has(int(b.Term.Val)) {
+				u.Set(int(b.Term.Val))
+			}
+		}
+	}
+
+	// Iterate to fixpoint, visiting blocks in reverse order for fast
+	// convergence on reducible CFGs.
+	changed := true
+	tmp := NewBitSet(nr)
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[i]
+			for _, s := range b.Succs {
+				if out.OrWith(lv.In[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out - def)
+			tmp.Copy(out)
+			for w := range tmp {
+				tmp[w] &^= def[i][w]
+				tmp[w] |= use[i][w]
+			}
+			if !equalBits(tmp, lv.In[i]) {
+				lv.In[i].Copy(tmp)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+func equalBits(a, b BitSet) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

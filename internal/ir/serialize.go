@@ -1,0 +1,46 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// WriteFile saves a module as an intermediate file (the artifact the
+// compiler first phase hands to the second phase, §2).
+func WriteFile(path string, m *Module) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return fmt.Errorf("ir: encode %s: %w", m.Name, err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadFile loads an intermediate file.
+func ReadFile(path string) (*Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Module
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("ir: decode %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Clone deep-copies a module. The optimizer mutates IR in place, and the
+// driver compiles the same phase-1 output under several configurations, so
+// each compilation works on its own copy.
+func (m *Module) Clone() *Module {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(fmt.Sprintf("ir: clone encode: %v", err))
+	}
+	var out Module
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		panic(fmt.Sprintf("ir: clone decode: %v", err))
+	}
+	return &out
+}

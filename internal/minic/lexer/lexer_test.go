@@ -1,0 +1,165 @@
+package lexer
+
+import (
+	"testing"
+
+	"ipra/internal/minic/token"
+)
+
+func kinds(src string) []token.Kind {
+	toks := New("t.mc", []byte(src)).All()
+	var ks []token.Kind
+	for _, t := range toks {
+		ks = append(ks, t.Kind)
+	}
+	return ks
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds("int x = 42;")
+	want := []token.Kind{token.KwInt, token.Ident, token.Assign, token.Int, token.Semi, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllOperators(t *testing.T) {
+	src := "+ - * / % & | ^ ~ ! << >> < > <= >= == != && || ++ -- " +
+		"+= -= *= /= %= &= |= ^= <<= >>= ? : . -> ( ) { } [ ] , ;"
+	want := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Amp, token.Pipe, token.Caret, token.Tilde, token.Not,
+		token.Shl, token.Shr, token.Lt, token.Gt, token.Le, token.Ge,
+		token.Eq, token.Ne, token.AndAnd, token.OrOr, token.PlusPlus, token.MinusMinus,
+		token.PlusEq, token.MinusEq, token.StarEq, token.SlashEq, token.PercentEq,
+		token.AmpEq, token.PipeEq, token.CaretEq, token.ShlEq, token.ShrEq,
+		token.Question, token.Colon, token.Dot, token.Arrow,
+		token.LParen, token.RParen, token.LBrace, token.RBrace,
+		token.LBracket, token.RBracket, token.Comma, token.Semi, token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	src := "int char void struct static extern if else while for do return break continue sizeof"
+	want := []token.Kind{
+		token.KwInt, token.KwChar, token.KwVoid, token.KwStruct, token.KwStatic,
+		token.KwExtern, token.KwIf, token.KwElse, token.KwWhile, token.KwFor,
+		token.KwDo, token.KwReturn, token.KwBreak, token.KwContinue, token.KwSizeof,
+		token.EOF,
+	}
+	got := kinds(src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"0", 0},
+		{"123", 123},
+		{"2147483647", 2147483647},
+		{"0x0", 0},
+		{"0xff", 255},
+		{"0X7FFF", 32767},
+		{"'a'", 97},
+		{"'\\n'", 10},
+		{"'\\t'", 9},
+		{"'\\0'", 0},
+		{"'\\\\'", 92},
+		{"'\\''", 39},
+		{"'\\x41'", 65},
+	}
+	for _, tc := range cases {
+		toks := New("t.mc", []byte(tc.src)).All()
+		if toks[0].Kind != token.Int {
+			t.Errorf("%s: kind = %v, want Int", tc.src, toks[0].Kind)
+			continue
+		}
+		if toks[0].Val != tc.want {
+			t.Errorf("%s: val = %d, want %d", tc.src, toks[0].Val, tc.want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	lx := New("t.mc", []byte(`"hello\n\t\"x\"" "a\x41b"`))
+	toks := lx.All()
+	if toks[0].Lit != "hello\n\t\"x\"" {
+		t.Errorf("string 1 = %q", toks[0].Lit)
+	}
+	if toks[1].Lit != "aAb" {
+		t.Errorf("string 2 = %q", toks[1].Lit)
+	}
+	if len(lx.Errors()) != 0 {
+		t.Errorf("unexpected errors: %v", lx.Errors())
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds("a // line comment\n b /* block\n comment */ c")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := New("t.mc", []byte("a\n  b"))
+	toks := lx.All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[0].Pos.String() != "t.mc:1:1" {
+		t.Errorf("Pos.String = %q", toks[0].Pos.String())
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"\"unterminated",
+		"'x",
+		"'",
+		"/* unterminated",
+		"@",
+		"0x",
+	}
+	for _, src := range cases {
+		lx := New("t.mc", []byte(src))
+		lx.All()
+		if len(lx.Errors()) == 0 {
+			t.Errorf("%q: expected a lexical error", src)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	lx := New("t.mc", []byte("x"))
+	lx.Next()
+	for i := 0; i < 3; i++ {
+		if tok := lx.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d after end: %v, want EOF", i, tok.Kind)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ipra/internal/minic/ast"
+	"ipra/internal/minic/token"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := ParseFile("t.mc", []byte(src))
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := ParseFile("t.mc", []byte(src))
+	if err == nil {
+		t.Fatalf("expected parse error for %q", src)
+	}
+	return err
+}
+
+func TestParseGlobalVariables(t *testing.T) {
+	f := parse(t, `
+int a;
+int b = 5, c = -1;
+char msg[10];
+char text[] = "hi";
+static int s;
+extern int e;
+int *p;
+int **pp;
+int arr[4] = {1, 2, 3, 4};
+`)
+	if len(f.Decls) != 9 {
+		t.Fatalf("got %d decls, want 9", len(f.Decls))
+	}
+	vd := f.Decls[1].(*ast.VarDecl)
+	if len(vd.Items) != 2 || vd.Items[0].Declarator.Name != "b" || vd.Items[1].Declarator.Name != "c" {
+		t.Errorf("multi-declarator parse wrong: %+v", vd)
+	}
+	sd := f.Decls[4].(*ast.VarDecl)
+	if !sd.Static {
+		t.Error("static flag lost")
+	}
+	ed := f.Decls[5].(*ast.VarDecl)
+	if !ed.Extern {
+		t.Error("extern flag lost")
+	}
+	pp := f.Decls[7].(*ast.VarDecl)
+	if pp.Items[0].Declarator.Ptr != 2 {
+		t.Errorf("int **pp: ptr depth = %d", pp.Items[0].Declarator.Ptr)
+	}
+	arr := f.Decls[8].(*ast.VarDecl)
+	if len(arr.Items[0].InitList) != 4 {
+		t.Errorf("array initializer: %d items", len(arr.Items[0].InitList))
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	f := parse(t, `
+int add(int a, int b) { return a + b; }
+void nothing() {}
+int proto(int x);
+static int hidden(void) { return 0; }
+int *retptr(char *s) { return 0; }
+`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if fd.Name != "add" || len(fd.Params) != 2 || fd.Body == nil {
+		t.Errorf("add parsed wrong: %+v", fd)
+	}
+	proto := f.Decls[2].(*ast.FuncDecl)
+	if proto.Body != nil {
+		t.Error("prototype has a body")
+	}
+	hidden := f.Decls[3].(*ast.FuncDecl)
+	if !hidden.Static || len(hidden.Params) != 0 {
+		t.Errorf("static f(void) parsed wrong: %+v", hidden)
+	}
+	rp := f.Decls[4].(*ast.FuncDecl)
+	if rp.RetPtr != 1 {
+		t.Errorf("int* return: RetPtr = %d", rp.RetPtr)
+	}
+}
+
+func TestParseStructs(t *testing.T) {
+	f := parse(t, `
+struct Node {
+	int value;
+	struct Node *next;
+	char tag[8];
+};
+struct Node head;
+`)
+	sd := f.Decls[0].(*ast.StructDecl)
+	if sd.Name != "Node" || len(sd.Fields) != 3 {
+		t.Fatalf("struct parsed wrong: %+v", sd)
+	}
+	if sd.Fields[1].Decl.Ptr != 1 {
+		t.Error("struct Node *next lost its pointer")
+	}
+	if !sd.Fields[2].Decl.IsArray || sd.Fields[2].Decl.ArrayLen != 8 {
+		t.Error("char tag[8] parsed wrong")
+	}
+}
+
+func TestParseFunctionPointers(t *testing.T) {
+	f := parse(t, `
+int (*handler)(int, int);
+int (*table[4])(int);
+int use(int (*f)(int x)) { return f(1); }
+`)
+	h := f.Decls[0].(*ast.VarDecl)
+	d := h.Items[0].Declarator
+	if !d.IsFuncPtr || len(d.FPtrParams) != 2 {
+		t.Errorf("handler: %+v", d)
+	}
+	tab := f.Decls[1].(*ast.VarDecl).Items[0].Declarator
+	if !tab.IsFuncPtr || !tab.IsArray || tab.ArrayLen != 4 {
+		t.Errorf("table: %+v", tab)
+	}
+	use := f.Decls[2].(*ast.FuncDecl)
+	if !use.Params[0].Decl.IsFuncPtr {
+		t.Errorf("funcptr param: %+v", use.Params[0].Decl)
+	}
+}
+
+// exprOf parses `int f() { return EXPR; }` and returns the expression.
+func exprOf(t *testing.T, expr string) ast.Expr {
+	t.Helper()
+	f := parse(t, "int f(int a, int b, int c) { return "+expr+"; }")
+	fd := f.Decls[0].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.Return)
+	return ret.X
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c parses as a + (b * c)
+	e := exprOf(t, "a + b * c").(*ast.Binary)
+	if e.Op != token.Plus {
+		t.Fatalf("top op = %v", e.Op)
+	}
+	if inner, ok := e.Y.(*ast.Binary); !ok || inner.Op != token.Star {
+		t.Errorf("b*c not grouped right: %T", e.Y)
+	}
+
+	// a | b & c parses as a | (b & c)
+	e = exprOf(t, "a | b & c").(*ast.Binary)
+	if e.Op != token.Pipe {
+		t.Fatalf("top op = %v", e.Op)
+	}
+
+	// a == b < c parses as a == (b < c)
+	e = exprOf(t, "a == b < c").(*ast.Binary)
+	if e.Op != token.Eq {
+		t.Fatalf("top op = %v", e.Op)
+	}
+
+	// a << b + c parses as a << (b + c)
+	e = exprOf(t, "a << b + c").(*ast.Binary)
+	if e.Op != token.Shl {
+		t.Fatalf("top op = %v", e.Op)
+	}
+
+	// a && b || c && d parses as (a && b) || (c && d)
+	e = exprOf(t, "a && b || c && d").(*ast.Binary)
+	if e.Op != token.OrOr {
+		t.Fatalf("top op = %v", e.Op)
+	}
+}
+
+func TestAssociativity(t *testing.T) {
+	// a - b - c parses as (a - b) - c
+	e := exprOf(t, "a - b - c").(*ast.Binary)
+	if _, ok := e.X.(*ast.Binary); !ok {
+		t.Error("subtraction not left-associative")
+	}
+	// Assignment is right-associative: a = b = c.
+	f := parse(t, "int f(int a, int b, int c) { a = b = c; return a; }")
+	st := f.Decls[0].(*ast.FuncDecl).Body.Stmts[0].(*ast.ExprStmt)
+	asn := st.X.(*ast.Assign)
+	if _, ok := asn.RHS.(*ast.Assign); !ok {
+		t.Error("assignment not right-associative")
+	}
+}
+
+func TestPostfixChains(t *testing.T) {
+	e := exprOf(t, "a") // warm-up for the helper
+	_ = e
+	f := parse(t, `
+struct S { int x; };
+struct S *items[3];
+int f() { return items[0]->x++; }
+`)
+	fd := f.Decls[2].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.Return)
+	post, ok := ret.X.(*ast.Postfix)
+	if !ok || post.Op != token.PlusPlus {
+		t.Fatalf("postfix ++ lost: %T", ret.X)
+	}
+	mem, ok := post.X.(*ast.Member)
+	if !ok || !mem.Arrow || mem.Name != "x" {
+		t.Fatalf("->x lost: %+v", post.X)
+	}
+	if _, ok := mem.X.(*ast.Index); !ok {
+		t.Fatalf("items[0] lost: %T", mem.X)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	f := parse(t, `
+int f(int n) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < n; i++) {
+		if (i % 2) { continue; } else { acc += i; }
+		while (acc > 100) { acc /= 2; }
+		do { acc--; } while (0);
+		if (acc < 0) break;
+	}
+	;
+	return acc ? acc : -1;
+}
+`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if len(fd.Body.Stmts) != 5 {
+		t.Fatalf("got %d statements, want 5", len(fd.Body.Stmts))
+	}
+	forStmt := fd.Body.Stmts[2].(*ast.For)
+	if forStmt.Init == nil || forStmt.Cond == nil || forStmt.Post == nil {
+		t.Error("for clauses missing")
+	}
+	ret := fd.Body.Stmts[4].(*ast.Return)
+	if _, ok := ret.X.(*ast.Cond); !ok {
+		t.Errorf("ternary lost: %T", ret.X)
+	}
+}
+
+func TestForWithDeclaration(t *testing.T) {
+	f := parse(t, `int f() { for (int i = 0; i < 3; i++) {} return 0; }`)
+	forStmt := f.Decls[0].(*ast.FuncDecl).Body.Stmts[0].(*ast.For)
+	if _, ok := forStmt.Init.(*ast.LocalDecl); !ok {
+		t.Errorf("for-init decl: %T", forStmt.Init)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	e := exprOf(t, "sizeof(int) + sizeof(char*)")
+	b := e.(*ast.Binary)
+	s1 := b.X.(*ast.SizeofType)
+	if s1.Type.Base != ast.BaseInt {
+		t.Error("sizeof(int) base wrong")
+	}
+	s2 := b.Y.(*ast.SizeofType)
+	if s2.Type.Base != ast.BaseChar || s2.Decl.Ptr != 1 {
+		t.Error("sizeof(char*) wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int f( { }",
+		"int x = ;",
+		"struct { int x; };",    // missing tag
+		"int f() { return 1 }",  // missing semicolon
+		"int f() { if (x { } }", // bad paren
+		"int a[xyz];",           // non-literal length
+		"42;",                   // expression at top level
+	}
+	for _, src := range cases {
+		err := parseErr(t, src)
+		if err.Error() == "" {
+			t.Errorf("%q: empty error message", src)
+		}
+	}
+}
+
+func TestErrorMessagesIncludePosition(t *testing.T) {
+	err := parseErr(t, "int f() {\n  return 1\n}")
+	if !strings.Contains(err.Error(), "t.mc:") {
+		t.Errorf("error lacks file position: %v", err)
+	}
+}
+
+// TestNoInfiniteLoopOnGarbage guards the parser's progress invariant.
+func TestNoInfiniteLoopOnGarbage(t *testing.T) {
+	garbage := []string{
+		"}}}}",
+		"((((",
+		"int int int",
+		"struct struct",
+		"int f() { { { {",
+		"= = = =",
+	}
+	for _, src := range garbage {
+		// Must terminate (the test harness will time out otherwise).
+		_, _ = ParseFile("t.mc", []byte(src))
+	}
+}

@@ -1,0 +1,194 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	if Int.Size() != 4 || Char.Size() != 1 || Void.Size() != 0 {
+		t.Errorf("basic sizes wrong: int=%d char=%d void=%d", Int.Size(), Char.Size(), Void.Size())
+	}
+	p := &Pointer{Elem: Char}
+	if p.Size() != WordSize {
+		t.Errorf("pointer size = %d", p.Size())
+	}
+	a := &Array{Elem: Int, Len: 10}
+	if a.Size() != 40 {
+		t.Errorf("int[10] size = %d", a.Size())
+	}
+	ca := &Array{Elem: Char, Len: 7}
+	if ca.Size() != 7 {
+		t.Errorf("char[7] size = %d", ca.Size())
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := NewStruct("S", []Field{
+		{Name: "c", Type: Char},
+		{Name: "i", Type: Int},
+		{Name: "c2", Type: Char},
+		{Name: "c3", Type: Char},
+		{Name: "p", Type: &Pointer{Elem: Int}},
+	})
+	wantOffsets := []int{0, 4, 8, 9, 12}
+	for i, f := range s.Fields {
+		if f.Offset != wantOffsets[i] {
+			t.Errorf("field %s at %d, want %d", f.Name, f.Offset, wantOffsets[i])
+		}
+	}
+	if s.Size() != 16 {
+		t.Errorf("struct size = %d, want 16", s.Size())
+	}
+	if s.Field("i") == nil || s.Field("nope") != nil {
+		t.Error("Field lookup broken")
+	}
+}
+
+func TestEmptyStructHasStorage(t *testing.T) {
+	s := NewStruct("E", nil)
+	if s.Size() <= 0 {
+		t.Errorf("empty struct size = %d", s.Size())
+	}
+}
+
+func TestCharPacking(t *testing.T) {
+	s := NewStruct("S", []Field{
+		{Name: "a", Type: Char},
+		{Name: "b", Type: Char},
+		{Name: "c", Type: Char},
+	})
+	if s.Fields[0].Offset != 0 || s.Fields[1].Offset != 1 || s.Fields[2].Offset != 2 {
+		t.Errorf("chars not packed: %+v", s.Fields)
+	}
+	if s.Size() != 4 { // rounded to word
+		t.Errorf("size = %d, want 4", s.Size())
+	}
+}
+
+// TestStructLayoutInvariants property-checks layout over random field
+// sequences: offsets are non-decreasing, aligned, non-overlapping, and
+// size covers everything.
+func TestStructLayoutInvariants(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		if len(kinds) > 30 {
+			kinds = kinds[:30]
+		}
+		var fields []Field
+		for i, k := range kinds {
+			var ft Type
+			switch k % 4 {
+			case 0:
+				ft = Char
+			case 1:
+				ft = Int
+			case 2:
+				ft = &Pointer{Elem: Int}
+			default:
+				ft = &Array{Elem: Char, Len: int(k%7) + 1}
+			}
+			fields = append(fields, Field{Name: string(rune('a' + i)), Type: ft})
+		}
+		s := NewStruct("T", fields)
+		end := 0
+		for _, fl := range s.Fields {
+			if fl.Offset < end {
+				return false // overlap
+			}
+			if fl.Offset%AlignOf(fl.Type) != 0 {
+				return false // misaligned
+			}
+			end = fl.Offset + fl.Type.Size()
+		}
+		return s.Size() >= end && s.Size()%WordSize == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	p1 := &Pointer{Elem: Int}
+	p2 := &Pointer{Elem: Int}
+	if !Identical(p1, p2) {
+		t.Error("identical pointer types not identical")
+	}
+	if Identical(p1, &Pointer{Elem: Char}) {
+		t.Error("int* identical to char*")
+	}
+	a1 := &Array{Elem: Int, Len: 3}
+	a2 := &Array{Elem: Int, Len: 4}
+	if Identical(a1, a2) {
+		t.Error("different lengths identical")
+	}
+	f1 := &Func{Params: []Type{Int}, Result: Int}
+	f2 := &Func{Params: []Type{Int}, Result: Int}
+	f3 := &Func{Params: []Type{Int, Int}, Result: Int}
+	if !Identical(f1, f2) || Identical(f1, f3) {
+		t.Error("function identity wrong")
+	}
+	// Structs are nominal.
+	s1 := NewStruct("S", nil)
+	s2 := NewStruct("S", nil)
+	if Identical(s1, s2) {
+		t.Error("distinct struct instances should not be identical")
+	}
+}
+
+func TestAssignableTo(t *testing.T) {
+	ip := &Pointer{Elem: Int}
+	cp := &Pointer{Elem: Char}
+	st := NewStruct("S", []Field{{Name: "x", Type: Int}})
+	sp := &Pointer{Elem: st}
+	cases := []struct {
+		src, dst Type
+		want     bool
+	}{
+		{Int, Int, true},
+		{Char, Int, true},
+		{Int, Char, true},
+		{ip, ip, true},
+		{ip, cp, true}, // char* is the byte-buffer escape hatch
+		{cp, ip, true},
+		{sp, ip, false},
+		{Int, ip, false},
+		{st, st, true},
+	}
+	for _, tc := range cases {
+		if got := AssignableTo(tc.src, tc.dst); got != tc.want {
+			t.Errorf("AssignableTo(%s, %s) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsScalar(Int) || !IsScalar(Char) || !IsScalar(&Pointer{Elem: Int}) {
+		t.Error("scalar predicates wrong")
+	}
+	if IsScalar(&Array{Elem: Int, Len: 2}) || IsScalar(NewStruct("S", nil)) || IsScalar(Void) {
+		t.Error("non-scalars classified as scalar")
+	}
+	fp := &Pointer{Elem: &Func{Result: Int}}
+	if !IsFuncPointer(fp) || IsFuncPointer(&Pointer{Elem: Int}) {
+		t.Error("IsFuncPointer wrong")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{Int, "int"},
+		{&Pointer{Elem: Char}, "char*"},
+		{&Array{Elem: Int, Len: 8}, "int[8]"},
+		{NewStruct("Foo", nil), "struct Foo"},
+		{&Func{Params: []Type{Int, Char}, Result: Void}, "void (int, char)"},
+		{&Func{Result: Int, Variadic: true}, "int (...)"},
+	}
+	for _, tc := range cases {
+		if got := tc.t.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

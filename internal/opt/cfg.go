@@ -1,0 +1,153 @@
+package opt
+
+import (
+	"ipra/internal/ir"
+)
+
+// SimplifyCFG performs jump threading, unreachable block elimination, and
+// straight-line block merging. It reports whether anything changed.
+func SimplifyCFG(f *ir.Func) bool {
+	changed := false
+	for {
+		c := false
+		c = threadJumps(f) || c
+		c = removeUnreachable(f) || c
+		c = mergeBlocks(f) || c
+		if !c {
+			break
+		}
+		changed = true
+	}
+	f.Recompute()
+	return changed
+}
+
+// threadJumps retargets edges that point at empty forwarding blocks.
+func threadJumps(f *ir.Func) bool {
+	// target[i] is the ultimate destination of jumping to block i.
+	target := make([]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		target[i] = i
+		if len(b.Instrs) == 0 && b.Term.Kind == ir.TermJump && b.Term.True != i {
+			target[i] = b.Term.True
+		}
+	}
+	// Collapse chains (with a visited guard against cycles of empty blocks).
+	resolve := func(i int) int {
+		seen := map[int]bool{}
+		for target[i] != i && !seen[i] {
+			seen[i] = true
+			i = target[i]
+		}
+		return i
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case ir.TermJump:
+			if t := resolve(b.Term.True); t != b.Term.True {
+				b.Term.True = t
+				changed = true
+			}
+		case ir.TermBranch:
+			if t := resolve(b.Term.True); t != b.Term.True {
+				b.Term.True = t
+				changed = true
+			}
+			if t := resolve(b.Term.False); t != b.Term.False {
+				b.Term.False = t
+				changed = true
+			}
+			if b.Term.True == b.Term.False {
+				b.Term = ir.Term{Kind: ir.TermJump, True: b.Term.True}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// removeUnreachable deletes blocks not reachable from the entry, renumbering
+// the remainder.
+func removeUnreachable(f *ir.Func) bool {
+	reach := make([]bool, len(f.Blocks))
+	var stack []int
+	reach[0] = true
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := f.Blocks[id]
+		var succs []int
+		switch b.Term.Kind {
+		case ir.TermJump:
+			succs = []int{b.Term.True}
+		case ir.TermBranch:
+			succs = []int{b.Term.True, b.Term.False}
+		}
+		for _, s := range succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	all := true
+	for _, r := range reach {
+		all = all && r
+	}
+	if all {
+		return false
+	}
+	// Renumber.
+	newID := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reach[i] {
+			newID[i] = len(kept)
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		switch b.Term.Kind {
+		case ir.TermJump:
+			b.Term.True = newID[b.Term.True]
+		case ir.TermBranch:
+			b.Term.True = newID[b.Term.True]
+			b.Term.False = newID[b.Term.False]
+		}
+	}
+	f.Blocks = kept
+	return true
+}
+
+// mergeBlocks appends a block into its unique predecessor when that
+// predecessor jumps unconditionally to it.
+func mergeBlocks(f *ir.Func) bool {
+	f.Recompute()
+	changed := false
+	for _, b := range f.Blocks {
+		for {
+			if b.Term.Kind != ir.TermJump {
+				break
+			}
+			s := f.Blocks[b.Term.True]
+			if s == b || len(s.Preds) != 1 || s.ID == 0 {
+				break
+			}
+			// Merge s into b.
+			b.Instrs = append(b.Instrs, s.Instrs...)
+			b.Term = s.Term
+			s.Instrs = nil
+			s.Term = ir.Term{Kind: ir.TermJump, True: s.ID} // self-loop; now unreachable
+			changed = true
+			f.Recompute()
+		}
+	}
+	if changed {
+		removeUnreachable(f)
+		f.Recompute()
+	}
+	return changed
+}

@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"ipra/internal/ir"
+)
+
+// DeadCodeElim removes instructions whose results are unused and that have
+// no side effects, iterating until stable. It reports whether anything was
+// removed.
+func DeadCodeElim(f *ir.Func) bool {
+	changed := false
+	for {
+		f.Recompute()
+		lv := ir.ComputeLiveness(f)
+		removed := false
+		var uses []ir.Reg
+		for _, b := range f.Blocks {
+			// Walk backwards tracking liveness within the block.
+			live := ir.NewBitSet(int(f.NextReg))
+			live.Copy(lv.Out[b.ID])
+			if b.Term.Kind == ir.TermBranch {
+				live.Set(int(b.Term.Cond))
+			}
+			if b.Term.Kind == ir.TermReturn && b.Term.HasVal {
+				live.Set(int(b.Term.Val))
+			}
+			out := b.Instrs[:0]
+			// Collect surviving instructions in reverse, then un-reverse.
+			var kept []ir.Instr
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				d := in.Def()
+				dead := !in.HasSideEffects() && (d == 0 || !live.Has(int(d)))
+				// Writes to pinned (web) registers are observable by
+				// callees and callers; they are never dead.
+				if d != 0 && f.IsPinned(d) {
+					dead = false
+				}
+				if in.Op == ir.Nop {
+					dead = true
+				}
+				// A call whose result is unused still executes; clear Dst.
+				if in.Op == ir.Call && in.Dst != 0 && !live.Has(int(in.Dst)) {
+					in.Dst = 0
+				}
+				if dead {
+					removed = true
+					continue
+				}
+				if d != 0 {
+					live.Clear(int(d))
+				}
+				uses = in.Uses(uses[:0])
+				for _, u := range uses {
+					live.Set(int(u))
+				}
+				kept = append(kept, in)
+			}
+			for i := len(kept) - 1; i >= 0; i-- {
+				out = append(out, kept[i])
+			}
+			b.Instrs = out
+		}
+		if !removed {
+			break
+		}
+		changed = true
+	}
+	return changed
+}

@@ -1,0 +1,406 @@
+// Package opt implements the "level 2" (global, intraprocedural)
+// optimizations of the compiler second phase: constant folding and
+// propagation, local copy propagation and common subexpression elimination,
+// control-flow simplification, dead code elimination, and intraprocedural
+// global variable promotion (the baseline behaviour the paper's
+// interprocedural promotion improves on).
+package opt
+
+import (
+	"ipra/internal/ir"
+)
+
+// Level2 runs the full baseline pass pipeline over a function.
+// skipGlobals names globals that must not be touched by intraprocedural
+// promotion (because the program analyzer promoted them interprocedurally).
+func Level2(f *ir.Func, eligible map[string]bool, skipGlobals map[string]bool) {
+	PromoteGlobals(f, eligible, skipGlobals)
+	for i := 0; i < 3; i++ {
+		LocalOpt(f)
+		changed := SimplifyCFG(f)
+		changed = DeadCodeElim(f) || changed
+		if !changed {
+			break
+		}
+	}
+}
+
+// Level1 runs only the scalar cleanups (no global promotion); used for the
+// unoptimized comparison point and by tests.
+func Level1(f *ir.Func) {
+	for i := 0; i < 2; i++ {
+		LocalOpt(f)
+		SimplifyCFG(f)
+		DeadCodeElim(f)
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Local (basic-block) optimization: constant/copy propagation, folding and
+// common subexpression elimination via value numbering.
+
+// LocalOpt optimizes each basic block independently.
+func LocalOpt(f *ir.Func) {
+	for _, b := range f.Blocks {
+		optBlock(f, b)
+	}
+}
+
+type lvState struct {
+	constOf map[ir.Reg]int64 // register holds a known constant
+	copyOf  map[ir.Reg]ir.Reg
+	// exprVN maps a value-numbering key to the register holding it.
+	exprVN map[vnKey]ir.Reg
+	// loadVN maps memory locations to the register holding the last
+	// loaded/stored value; invalidated conservatively.
+	loadVN map[memKey]ir.Reg
+}
+
+type vnKey struct {
+	op   ir.Op
+	a, b ir.Reg
+	imm  int64
+	sym  string
+}
+
+type memKey struct {
+	kind ir.MemKind
+	sym  string
+	base ir.Reg
+	off  int32
+	size uint8
+}
+
+func optBlock(f *ir.Func, b *ir.Block) {
+	st := &lvState{
+		constOf: make(map[ir.Reg]int64),
+		copyOf:  make(map[ir.Reg]ir.Reg),
+		exprVN:  make(map[vnKey]ir.Reg),
+		loadVN:  make(map[memKey]ir.Reg),
+	}
+
+	// resolve follows copy chains to the oldest equivalent register still
+	// holding the value.
+	resolve := func(r ir.Reg) ir.Reg {
+		for {
+			c, ok := st.copyOf[r]
+			if !ok {
+				return r
+			}
+			r = c
+		}
+	}
+
+	// kill invalidates everything known about register r (it is being
+	// redefined).
+	kill := func(r ir.Reg) {
+		delete(st.constOf, r)
+		delete(st.copyOf, r)
+		for k, v := range st.exprVN {
+			if v == r || k.a == r || k.b == r {
+				delete(st.exprVN, k)
+			}
+		}
+		for k, v := range st.loadVN {
+			if v == r || k.base == r {
+				delete(st.loadVN, k)
+			}
+		}
+		for k, v := range st.copyOf {
+			if v == r {
+				delete(st.copyOf, k)
+			}
+		}
+	}
+
+	clobberMemory := func(callLike bool) {
+		// A call may modify any global or escaped frame slot, and any
+		// pointer store may alias any of them (worst-case aliasing).
+		for k := range st.loadVN {
+			_ = callLike
+			delete(st.loadVN, k)
+		}
+	}
+
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+
+		// Rewrite operands through copy chains.
+		switch {
+		case in.Op == ir.Store:
+			in.A = resolve(in.A)
+			if in.Mem.Kind == ir.MemPtr {
+				in.Mem.Base = resolve(in.Mem.Base)
+			}
+		case in.Op == ir.Load:
+			if in.Mem.Kind == ir.MemPtr {
+				in.Mem.Base = resolve(in.Mem.Base)
+			}
+		case in.Op == ir.Call:
+			for j := range in.Args {
+				in.Args[j] = resolve(in.Args[j])
+			}
+			if in.IndirectCall {
+				in.A = resolve(in.A)
+			}
+		case in.Op == ir.Copy || in.Op == ir.Neg || in.Op == ir.Not:
+			in.A = resolve(in.A)
+		default:
+			if in.Op.IsBinary() {
+				in.A = resolve(in.A)
+				in.B = resolve(in.B)
+			}
+		}
+
+		switch in.Op {
+		case ir.Const:
+			kill(in.Dst)
+			st.constOf[in.Dst] = in.Imm
+
+		case ir.Copy:
+			src := in.A
+			kill(in.Dst)
+			if v, ok := st.constOf[src]; ok {
+				st.constOf[in.Dst] = v
+			}
+			if src != in.Dst {
+				st.copyOf[in.Dst] = src
+			}
+
+		case ir.Neg, ir.Not:
+			if v, ok := st.constOf[in.A]; ok {
+				nv := -v
+				if in.Op == ir.Not {
+					nv = int64(^int32(v))
+				}
+				*in = ir.Instr{Op: ir.Const, Dst: in.Dst, Imm: int64(int32(nv))}
+				kill(in.Dst)
+				st.constOf[in.Dst] = in.Imm
+				continue
+			}
+			kill(in.Dst)
+
+		case ir.Load:
+			key := memKey{kind: in.Mem.Kind, sym: in.Mem.Sym, base: in.Mem.Base, off: in.Mem.Off, size: in.Mem.Size}
+			if prev, ok := st.loadVN[key]; ok {
+				dst := in.Dst
+				*in = ir.Instr{Op: ir.Copy, Dst: dst, A: prev}
+				kill(dst)
+				st.copyOf[dst] = prev
+				if v, okc := st.constOf[prev]; okc {
+					st.constOf[dst] = v
+				}
+				continue
+			}
+			kill(in.Dst)
+			st.loadVN[key] = in.Dst
+
+		case ir.Store:
+			// A store invalidates overlapping memory facts. With worst-case
+			// aliasing, a pointer store kills everything; a direct store
+			// kills only same-location entries (different globals and frame
+			// slots cannot alias each other or pointer targets of distinct
+			// names... pointer targets CAN alias them, so those die too).
+			if in.Mem.Kind == ir.MemPtr {
+				clobberMemory(false)
+			} else {
+				for k := range st.loadVN {
+					if overlaps(k, in.Mem) {
+						delete(st.loadVN, k)
+					}
+				}
+			}
+			key := memKey{kind: in.Mem.Kind, sym: in.Mem.Sym, base: in.Mem.Base, off: in.Mem.Off, size: in.Mem.Size}
+			st.loadVN[key] = in.A
+
+		case ir.Call:
+			clobberMemory(true)
+			// Pinned (web) registers are shared with callees: the callee
+			// may read and write the promoted global, so every fact about
+			// a pinned register dies at a call.
+			for r := range f.Pinned {
+				kill(r)
+			}
+			if in.Dst != 0 {
+				kill(in.Dst)
+			}
+
+		case ir.AddrGlobal, ir.AddrFrame:
+			key := vnKey{op: in.Op, imm: in.Imm, sym: in.Callee}
+			if prev, ok := st.exprVN[key]; ok {
+				dst := in.Dst
+				*in = ir.Instr{Op: ir.Copy, Dst: dst, A: prev}
+				kill(dst)
+				st.copyOf[dst] = prev
+				continue
+			}
+			kill(in.Dst)
+			st.exprVN[key] = in.Dst
+
+		default:
+			if !in.Op.IsBinary() {
+				continue
+			}
+			va, oka := st.constOf[in.A]
+			vb, okb := st.constOf[in.B]
+			if oka && okb {
+				if v, ok := foldBinary(in.Op, va, vb); ok {
+					dst := in.Dst
+					*in = ir.Instr{Op: ir.Const, Dst: dst, Imm: v}
+					kill(dst)
+					st.constOf[dst] = v
+					continue
+				}
+			}
+			// Algebraic simplifications with one constant.
+			if r, ok := simplifyBinary(in, va, oka, vb, okb); ok {
+				dst := in.Dst
+				*in = ir.Instr{Op: ir.Copy, Dst: dst, A: r}
+				kill(dst)
+				st.copyOf[dst] = r
+				continue
+			}
+			// Value numbering (normalize commutative operand order).
+			a, bb := in.A, in.B
+			if in.Op.IsCommutative() && a > bb {
+				a, bb = bb, a
+			}
+			key := vnKey{op: in.Op, a: a, b: bb}
+			if prev, ok := st.exprVN[key]; ok && prev != in.Dst {
+				dst := in.Dst
+				*in = ir.Instr{Op: ir.Copy, Dst: dst, A: prev}
+				kill(dst)
+				st.copyOf[dst] = prev
+				continue
+			}
+			kill(in.Dst)
+			st.exprVN[key] = in.Dst
+		}
+	}
+
+	// Propagate into the terminator.
+	if b.Term.Kind == ir.TermBranch {
+		b.Term.Cond = resolve(b.Term.Cond)
+		if v, ok := st.constOf[b.Term.Cond]; ok {
+			t := b.Term.True
+			if v == 0 {
+				t = b.Term.False
+			}
+			b.Term = ir.Term{Kind: ir.TermJump, True: t}
+		}
+	}
+	if b.Term.Kind == ir.TermReturn && b.Term.HasVal {
+		b.Term.Val = resolve(b.Term.Val)
+	}
+}
+
+// overlaps reports whether memory fact k may alias a direct store to m.
+func overlaps(k memKey, m ir.MemRef) bool {
+	if k.kind == ir.MemPtr {
+		return true // a pointer-based fact may alias any direct store
+	}
+	if k.kind != m.Kind {
+		return false // distinct named spaces (global vs frame) are disjoint
+	}
+	if k.kind == ir.MemGlobal && k.sym != m.Sym {
+		return false
+	}
+	aLo, aHi := int64(k.off), int64(k.off)+int64(k.size)
+	bLo, bHi := int64(m.Off), int64(m.Off)+int64(m.Size)
+	return aLo < bHi && bLo < aHi
+}
+
+func foldBinary(op ir.Op, a, b int64) (int64, bool) {
+	x, y := int32(a), int32(b)
+	var r int32
+	switch op {
+	case ir.Add:
+		r = x + y
+	case ir.Sub:
+		r = x - y
+	case ir.Mul:
+		r = x * y
+	case ir.Div:
+		if y == 0 {
+			return 0, false
+		}
+		r = x / y
+	case ir.Rem:
+		if y == 0 {
+			return 0, false
+		}
+		r = x % y
+	case ir.And:
+		r = x & y
+	case ir.Or:
+		r = x | y
+	case ir.Xor:
+		r = x ^ y
+	case ir.Shl:
+		r = x << uint(y&31)
+	case ir.Shr:
+		r = x >> uint(y&31)
+	case ir.CmpEQ:
+		r = b2i(x == y)
+	case ir.CmpNE:
+		r = b2i(x != y)
+	case ir.CmpLT:
+		r = b2i(x < y)
+	case ir.CmpLE:
+		r = b2i(x <= y)
+	case ir.CmpGT:
+		r = b2i(x > y)
+	case ir.CmpGE:
+		r = b2i(x >= y)
+	default:
+		return 0, false
+	}
+	return int64(r), true
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// simplifyBinary returns a register equivalent to the instruction when an
+// identity applies (x+0, x*1, x&x, ...).
+func simplifyBinary(in *ir.Instr, va int64, oka bool, vb int64, okb bool) (ir.Reg, bool) {
+	switch in.Op {
+	case ir.Add, ir.Or, ir.Xor, ir.Shl, ir.Shr:
+		if okb && vb == 0 {
+			return in.A, true
+		}
+		if oka && va == 0 && in.Op == ir.Add {
+			return in.B, true
+		}
+		if oka && va == 0 && in.Op == ir.Or {
+			return in.B, true
+		}
+	case ir.Sub:
+		if okb && vb == 0 {
+			return in.A, true
+		}
+	case ir.Mul:
+		if okb && vb == 1 {
+			return in.A, true
+		}
+		if oka && va == 1 {
+			return in.B, true
+		}
+	case ir.Div:
+		if okb && vb == 1 {
+			return in.A, true
+		}
+	case ir.And:
+		if in.A == in.B {
+			return in.A, true
+		}
+	}
+	if in.Op == ir.Or && in.A == in.B {
+		return in.A, true
+	}
+	return 0, false
+}

@@ -1,0 +1,47 @@
+package opt
+
+import (
+	"ipra/internal/ir"
+	"ipra/internal/pdb"
+)
+
+// ApplyWebDirectives rewrites accesses to web-promoted globals as pinned
+// register references (§5 of the paper: "memory references to the
+// corresponding global variable are converted into register references...
+// This can enable additional intraprocedural optimizations such as
+// register copy elimination").
+//
+// It runs before the scalar optimizations so copy propagation folds the
+// register references into their uses. The load/store at web entry
+// procedures is inserted later by the code generator, which also reserves
+// the physical register.
+func ApplyWebDirectives(f *ir.Func, promoted []pdb.PromotedGlobal) {
+	if len(promoted) == 0 {
+		return
+	}
+	pin := make(map[string]ir.Reg, len(promoted))
+	for _, p := range promoted {
+		pin[p.Name] = f.Pin(p.Reg)
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.Load && in.Op != ir.Store {
+				continue
+			}
+			m := in.Mem
+			if m.Kind != ir.MemGlobal || !m.Singleton || m.Off != 0 {
+				continue
+			}
+			r, ok := pin[m.Sym]
+			if !ok {
+				continue
+			}
+			if in.Op == ir.Load {
+				*in = ir.Instr{Op: ir.Copy, Dst: in.Dst, A: r}
+			} else {
+				*in = ir.Instr{Op: ir.Copy, Dst: r, A: in.A}
+			}
+		}
+	}
+}

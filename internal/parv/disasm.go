@@ -1,0 +1,24 @@
+package parv
+
+import (
+	"fmt"
+	"io"
+)
+
+// Disassemble writes a listing of the linked executable.
+func Disassemble(w io.Writer, exe *Executable) {
+	for _, fi := range exe.Funcs {
+		fmt.Fprintf(w, "\n%s:\t; [%d,%d)\n", fi.Name, fi.Start, fi.End)
+		for pc := fi.Start; pc < fi.End; pc++ {
+			fmt.Fprintf(w, "%6d\t%s\n", pc, exe.Code[pc].String())
+		}
+	}
+}
+
+// DisassembleFunc writes the listing of one object function (pre-link).
+func DisassembleFunc(w io.Writer, f *ObjFunc) {
+	fmt.Fprintf(w, "%s:\n", f.Name)
+	for i := range f.Code {
+		fmt.Fprintf(w, "%6d\t%s\n", i, f.Code[i].String())
+	}
+}

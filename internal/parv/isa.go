@@ -1,0 +1,311 @@
+// Package parv defines PARV, a PA-RISC-flavoured 32-bit load/store virtual
+// architecture, together with its linker, instruction-level simulator, and
+// call-edge profiler.
+//
+// PARV mirrors the properties the paper depends on (§1.2):
+//
+//   - 32 general-purpose registers;
+//   - 16 registers (r3–r18) designated callee-saves by software convention;
+//   - a load/store architecture in which most instructions execute in a
+//     single clock cycle;
+//   - a linkage convention giving each procedure a set of callee-saves and
+//     a set of caller-saves registers.
+//
+// The simulator counts cycles (excluding cache effects, like the paper's
+// simulator), instructions, memory references, and singleton memory
+// references, and records exact call-edge counts usable as profile data.
+package parv
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 32
+
+// Register conventions (software linkage).
+const (
+	RegZero = 0  // hardwired zero
+	RegAT   = 1  // assembler temporary (scratch, never allocated)
+	RegRP   = 2  // return pointer, written by BL/BLR
+	RegDP   = 27 // global data pointer (reserved)
+	RegRet  = 28 // function result
+	RegSP   = 30 // stack pointer
+)
+
+// CalleeSavedFirst..CalleeSavedLast delimit the callee-saves registers
+// (16 of them, matching PA-RISC's convention described in the paper).
+const (
+	CalleeSavedFirst = 3
+	CalleeSavedLast  = 18
+)
+
+// ArgRegs lists the argument registers in argument order (PA-RISC passes
+// arg0 in r26 counting down).
+var ArgRegs = []uint8{26, 25, 24, 23}
+
+// CalleeSaved returns the conventional callee-saves register set.
+func CalleeSaved() []uint8 {
+	var rs []uint8
+	for r := CalleeSavedFirst; r <= CalleeSavedLast; r++ {
+		rs = append(rs, uint8(r))
+	}
+	return rs
+}
+
+// CallerSaved returns the conventional caller-saves (temporary) registers
+// available to the register allocator.
+func CallerSaved() []uint8 {
+	return []uint8{19, 20, 21, 22, 23, 24, 25, 26, 28, 29, 31}
+}
+
+// IsCalleeSaved reports whether r is in the conventional callee-saves set.
+func IsCalleeSaved(r uint8) bool { return r >= CalleeSavedFirst && r <= CalleeSavedLast }
+
+// RegName renders a register with its conventional role.
+func RegName(r uint8) string {
+	switch r {
+	case RegZero:
+		return "r0"
+	case RegAT:
+		return "r1(at)"
+	case RegRP:
+		return "rp"
+	case RegDP:
+		return "dp"
+	case RegRet:
+		return "ret0"
+	case RegSP:
+		return "sp"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// Op is a PARV opcode.
+type Op uint8
+
+// The PARV instruction set.
+const (
+	NOP Op = iota
+
+	LDI  // Rd = Imm
+	MOV  // Rd = Ra (encoded separately from ADD for readable disassembly)
+	ADD  // Rd = Ra + Rb
+	ADDI // Rd = Ra + Imm
+	SUB
+	SUBI // Rd = Ra - Imm
+	MUL  // millicode multiply
+	DIV  // millicode signed divide
+	REM  // millicode signed remainder
+	AND
+	OR
+	XOR
+	ANDI
+	ORI
+	XORI
+	SHL  // Rd = Ra << (Rb & 31)
+	SHR  // arithmetic
+	SHLI // Rd = Ra << Imm
+	SHRI
+	NEG // Rd = -Ra
+	NOT // Rd = ^Ra
+
+	CMP  // Rd = (Ra cond Rb) ? 1 : 0
+	CMPI // Rd = (Ra cond Imm) ? 1 : 0
+
+	LDW // Rd = mem[Ra + Imm] (MemSize bytes, zero-extended)
+	STW // mem[Ra + Imm] = Rb
+
+	B   // PC = Target (intra-function)
+	CB  // if (Ra cond Rb) PC = Target ("compare and branch", PA-RISC COMB)
+	CBI // if (Ra cond Imm) PC = Target
+	BL  // Rd = return address; PC = Target (direct call)
+	BLR // Rd = return address; PC = Ra (indirect call)
+	BV  // PC = Ra (return / computed jump)
+
+	SYS // runtime services (I/O, exit); service code in Imm, arg in r26
+)
+
+var opNames = [...]string{
+	NOP: "nop", LDI: "ldi", MOV: "mov", ADD: "add", ADDI: "addi",
+	SUB: "sub", SUBI: "subi", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SHL: "shl", SHR: "shr", SHLI: "shli", SHRI: "shri",
+	NEG: "neg", NOT: "not",
+	CMP: "cmp", CMPI: "cmpi",
+	LDW: "ldw", STW: "stw",
+	B: "b", CB: "cb", CBI: "cbi", BL: "bl", BLR: "blr", BV: "bv",
+	SYS: "sys",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Cond is a comparison condition for CMP/CMPI/CB/CBI.
+type Cond uint8
+
+// Signed comparison conditions.
+const (
+	EQ Cond = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var condNames = [...]string{EQ: "eq", NE: "ne", LT: "lt", LE: "le", GT: "gt", GE: "ge"}
+
+// String implements fmt.Stringer.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return "?"
+}
+
+// Holds evaluates the condition on two values.
+func (c Cond) Holds(a, b int32) bool {
+	switch c {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	}
+	return false
+}
+
+// Negate returns the complementary condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	default:
+		return LT
+	}
+}
+
+// Syscall service codes.
+const (
+	SysExit    = 1 // terminate with status r26
+	SysPutchar = 2 // write byte r26 to the output stream
+	SysPutint  = 3 // write decimal r26 to the output stream
+)
+
+// Instr is one decoded PARV instruction. PARV is simulated at the
+// structural level; there is no binary encoding.
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb uint8
+	Imm        int32
+	Cond       Cond
+	Target     int32 // branch/call target (text index after linking)
+
+	// MemSize is the access width for LDW/STW (1, 2, or 4 bytes).
+	MemSize uint8
+	// Singleton marks loads/stores of simple scalar variables for the
+	// paper's Table 5 accounting (§6.3).
+	Singleton bool
+
+	// Sym carries a symbolic operand for relocation and disassembly.
+	Sym string
+}
+
+// Cycles returns the cost of the instruction in clock cycles. Most PARV
+// instructions take a single cycle, as on PA-RISC; multiplies and divides
+// model millicode, loads model a load-use interlock, and taken branches pay
+// a pipeline bubble.
+func (in *Instr) Cycles(taken bool) uint64 {
+	switch in.Op {
+	case MUL:
+		return 8
+	case DIV, REM:
+		return 38
+	case LDW:
+		return 2
+	case BL, BLR, BV:
+		return 2
+	case B:
+		return 2
+	case CB, CBI:
+		if taken {
+			return 2
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// String renders the instruction in assembly-like syntax.
+func (in *Instr) String() string {
+	r := func(x uint8) string { return RegName(x) }
+	switch in.Op {
+	case NOP:
+		return "nop"
+	case LDI:
+		if in.Sym != "" {
+			return fmt.Sprintf("ldi %s, %d /* &%s */", r(in.Rd), in.Imm, in.Sym)
+		}
+		return fmt.Sprintf("ldi %s, %d", r(in.Rd), in.Imm)
+	case MOV:
+		return fmt.Sprintf("mov %s, %s", r(in.Rd), r(in.Ra))
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SHR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Ra), r(in.Rb))
+	case ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Ra), in.Imm)
+	case NEG, NOT:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Ra))
+	case CMP:
+		return fmt.Sprintf("cmp.%s %s, %s, %s", in.Cond, r(in.Rd), r(in.Ra), r(in.Rb))
+	case CMPI:
+		return fmt.Sprintf("cmpi.%s %s, %s, %d", in.Cond, r(in.Rd), r(in.Ra), in.Imm)
+	case LDW:
+		s := fmt.Sprintf("ldw.%d %s, %d(%s)", in.MemSize, r(in.Rd), in.Imm, r(in.Ra))
+		if in.Sym != "" {
+			s += " /* " + in.Sym + " */"
+		}
+		return s
+	case STW:
+		s := fmt.Sprintf("stw.%d %d(%s), %s", in.MemSize, in.Imm, r(in.Ra), r(in.Rb))
+		if in.Sym != "" {
+			s += " /* " + in.Sym + " */"
+		}
+		return s
+	case B:
+		return fmt.Sprintf("b %d", in.Target)
+	case CB:
+		return fmt.Sprintf("cb.%s %s, %s, %d", in.Cond, r(in.Ra), r(in.Rb), in.Target)
+	case CBI:
+		return fmt.Sprintf("cbi.%s %s, %d, %d", in.Cond, r(in.Ra), in.Imm, in.Target)
+	case BL:
+		return fmt.Sprintf("bl %s /* %s */", r(in.Rd), in.Sym)
+	case BLR:
+		return fmt.Sprintf("blr %s, %s", r(in.Rd), r(in.Ra))
+	case BV:
+		return fmt.Sprintf("bv %s", r(in.Ra))
+	case SYS:
+		return fmt.Sprintf("sys %d", in.Imm)
+	}
+	return in.Op.String()
+}

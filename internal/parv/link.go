@@ -1,0 +1,335 @@
+package parv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Address space layout. PARV exposes a flat 32-bit space: data (globals,
+// then stack) lives at DataBase, code addresses are TextBase+index. The
+// page at 0 is unmapped so null pointer dereferences trap.
+const (
+	DataBase = 0x0001_0000
+	TextBase = 0x4000_0000
+)
+
+// RelocKind identifies how a code relocation patches its instruction.
+type RelocKind int
+
+// Code relocation kinds.
+const (
+	RelCall     RelocKind = iota // BL: patch Target with the callee's text index
+	RelFuncAddr                  // LDI: patch Imm with TextBase + entry
+	RelDataAddr                  // LDI: patch Imm with the global's absolute address (+Addend)
+	RelDataDisp                  // LDW/STW: patch Imm with the global's DP displacement (+Addend)
+)
+
+// Reloc is a code relocation within an object function.
+type Reloc struct {
+	Index  int // instruction index within the function
+	Kind   RelocKind
+	Sym    string
+	Addend int32
+}
+
+// ObjFunc is one compiled function inside an object module.
+type ObjFunc struct {
+	Name   string
+	Code   []Instr
+	Relocs []Reloc
+}
+
+// DataSym is a global variable contributed or referenced by an object.
+type DataSym struct {
+	Name    string
+	Size    int32
+	Init    []byte // nil when not defined here
+	Defined bool
+	// DataRelocs patch address words inside Init at link time.
+	DataRelocs []DataReloc
+}
+
+// DataReloc is an address word within a global's initializer.
+type DataReloc struct {
+	Offset int32
+	Target string
+	Addend int32
+}
+
+// Object is one compiled module, ready for linking.
+type Object struct {
+	Module  string
+	Funcs   []*ObjFunc
+	Globals []*DataSym
+}
+
+// FuncInfo describes a linked function's text range.
+type FuncInfo struct {
+	Name  string
+	Start int // text index of the entry
+	End   int // one past the last instruction
+}
+
+// Executable is a fully linked PARV program.
+type Executable struct {
+	Code  []Instr
+	Funcs []FuncInfo
+	// FuncIdx maps a function name to its index in Funcs.
+	FuncIdx map[string]int
+	// funcOfPC maps every text index to the containing function's index.
+	funcOfPC []int32
+
+	Data       []byte // initial image of the globals region
+	GlobalAddr map[string]int32
+	DataSize   int32 // total data memory (globals + heap gap + stack)
+
+	Entry int // text index of main
+}
+
+// FuncOfPC returns the index (into Funcs) of the function containing the
+// given text index, or -1.
+func (e *Executable) FuncOfPC(pc int) int {
+	e.ensureIndex()
+	if pc < 0 || pc >= len(e.funcOfPC) {
+		return -1
+	}
+	return int(e.funcOfPC[pc])
+}
+
+// ensureIndex rebuilds the pc→function table, which is derived state not
+// carried by serialization (gob skips unexported fields).
+func (e *Executable) ensureIndex() {
+	if len(e.funcOfPC) == len(e.Code) {
+		return
+	}
+	e.funcOfPC = make([]int32, len(e.Code))
+	for i, fi := range e.Funcs {
+		for pc := fi.Start; pc < fi.End; pc++ {
+			e.funcOfPC[pc] = int32(i)
+		}
+	}
+}
+
+// LinkConfig controls linking.
+type LinkConfig struct {
+	DataSize int32  // total data memory; 0 selects 8 MiB
+	Entry    string // entry symbol; "" selects "main"
+}
+
+// Link combines object modules into an executable, resolving global
+// addresses, call targets, and data relocations, and synthesizing the tiny
+// runtime (putchar/putint/exit) for any of those left undefined.
+func Link(objs []*Object, cfg LinkConfig) (*Executable, error) {
+	if cfg.DataSize == 0 {
+		cfg.DataSize = 8 << 20
+	}
+	if cfg.Entry == "" {
+		cfg.Entry = "main"
+	}
+	exe := &Executable{
+		FuncIdx:    make(map[string]int),
+		GlobalAddr: make(map[string]int32),
+		DataSize:   cfg.DataSize,
+	}
+
+	// ---- Lay out globals.
+	type gdef struct {
+		sym *DataSym
+		mod string
+	}
+	defs := make(map[string]gdef)
+	var order []string
+	referenced := make(map[string]bool)
+	for _, o := range objs {
+		for _, g := range o.Globals {
+			referenced[g.Name] = true
+			if !g.Defined {
+				continue
+			}
+			if prev, dup := defs[g.Name]; dup {
+				return nil, fmt.Errorf("link: global %s defined in both %s and %s", g.Name, prev.mod, o.Module)
+			}
+			defs[g.Name] = gdef{sym: g, mod: o.Module}
+			order = append(order, g.Name)
+		}
+	}
+	sort.Strings(order) // deterministic layout independent of module order
+	addr := int32(0)
+	for _, name := range order {
+		g := defs[name].sym
+		a := int32(4)
+		if g.Size < 4 {
+			a = g.Size
+			if a == 0 {
+				a = 1
+			}
+		}
+		addr = (addr + a - 1) / a * a
+		exe.GlobalAddr[name] = DataBase + addr
+		addr += g.Size
+	}
+	for name := range referenced {
+		if _, ok := defs[name]; !ok {
+			return nil, fmt.Errorf("link: undefined global %s", name)
+		}
+	}
+	dataLen := addr
+	exe.Data = make([]byte, dataLen)
+	for _, name := range order {
+		g := defs[name].sym
+		off := exe.GlobalAddr[name] - DataBase
+		copy(exe.Data[off:off+g.Size], g.Init)
+	}
+
+	// ---- Collect functions, synthesizing runtime intrinsics on demand.
+	type fdef struct {
+		fn  *ObjFunc
+		mod string
+	}
+	fdefs := make(map[string]fdef)
+	var forder []*ObjFunc
+	for _, o := range objs {
+		for _, f := range o.Funcs {
+			if prev, dup := fdefs[f.Name]; dup {
+				return nil, fmt.Errorf("link: function %s defined in both %s and %s", f.Name, prev.mod, o.Module)
+			}
+			fdefs[f.Name] = fdef{fn: f, mod: o.Module}
+			forder = append(forder, f)
+		}
+	}
+	needs := func(name string) bool {
+		if _, ok := fdefs[name]; ok {
+			return false
+		}
+		for _, o := range objs {
+			for _, f := range o.Funcs {
+				for _, r := range f.Relocs {
+					if (r.Kind == RelCall || r.Kind == RelFuncAddr) && r.Sym == name {
+						return true
+					}
+				}
+			}
+			for _, g := range o.Globals {
+				for _, dr := range g.DataRelocs {
+					if dr.Target == name {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for name, code := range runtimeIntrinsics() {
+		if needs(name) {
+			f := &ObjFunc{Name: name, Code: code}
+			fdefs[name] = fdef{fn: f, mod: "<runtime>"}
+			forder = append(forder, f)
+		}
+	}
+
+	// ---- Lay out text, rebasing function-local branch targets.
+	for _, f := range forder {
+		start := len(exe.Code)
+		exe.FuncIdx[f.Name] = len(exe.Funcs)
+		exe.Code = append(exe.Code, f.Code...)
+		for pc := start; pc < len(exe.Code); pc++ {
+			switch exe.Code[pc].Op {
+			case B, CB, CBI:
+				exe.Code[pc].Target += int32(start)
+			}
+		}
+		exe.Funcs = append(exe.Funcs, FuncInfo{Name: f.Name, Start: start, End: len(exe.Code)})
+	}
+	exe.funcOfPC = make([]int32, len(exe.Code))
+	for i, fi := range exe.Funcs {
+		for pc := fi.Start; pc < fi.End; pc++ {
+			exe.funcOfPC[pc] = int32(i)
+		}
+	}
+
+	// ---- Apply code relocations.
+	for _, f := range forder {
+		base := exe.Funcs[exe.FuncIdx[f.Name]].Start
+		for _, r := range f.Relocs {
+			in := &exe.Code[base+r.Index]
+			switch r.Kind {
+			case RelCall:
+				fi, ok := exe.FuncIdx[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined function %s", f.Name, r.Sym)
+				}
+				in.Target = int32(exe.Funcs[fi].Start)
+				in.Sym = r.Sym
+			case RelFuncAddr:
+				fi, ok := exe.FuncIdx[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined function %s", f.Name, r.Sym)
+				}
+				in.Imm = int32(TextBase + exe.Funcs[fi].Start)
+				in.Sym = r.Sym
+			case RelDataAddr:
+				a, ok := exe.GlobalAddr[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined global %s", f.Name, r.Sym)
+				}
+				in.Imm = a + r.Addend
+				in.Sym = r.Sym
+			case RelDataDisp:
+				a, ok := exe.GlobalAddr[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined global %s", f.Name, r.Sym)
+				}
+				in.Imm += a - DataBase + r.Addend
+				in.Sym = r.Sym
+			}
+		}
+	}
+
+	// ---- Apply data relocations.
+	for _, name := range order {
+		g := defs[name].sym
+		base := exe.GlobalAddr[name] - DataBase
+		for _, dr := range g.DataRelocs {
+			var v int32
+			if fi, ok := exe.FuncIdx[dr.Target]; ok {
+				v = int32(TextBase + exe.Funcs[fi].Start)
+			} else if a, ok := exe.GlobalAddr[dr.Target]; ok {
+				v = a
+			} else {
+				return nil, fmt.Errorf("link: data reloc in %s: undefined symbol %s", name, dr.Target)
+			}
+			binary.LittleEndian.PutUint32(exe.Data[base+dr.Offset:], uint32(v+dr.Addend))
+		}
+	}
+
+	entry, ok := exe.FuncIdx[cfg.Entry]
+	if !ok {
+		return nil, fmt.Errorf("link: undefined entry symbol %s", cfg.Entry)
+	}
+	exe.Entry = exe.Funcs[entry].Start
+	if int64(dataLen)+0x10000 > int64(cfg.DataSize) {
+		return nil, fmt.Errorf("link: globals (%d bytes) overflow data memory", dataLen)
+	}
+	return exe, nil
+}
+
+// runtimeIntrinsics returns the bodies of the runtime service routines the
+// linker can synthesize. Each follows the standard linkage: argument in
+// r26, result in r28, return via rp.
+func runtimeIntrinsics() map[string][]Instr {
+	return map[string][]Instr{
+		"putchar": {
+			{Op: SYS, Imm: SysPutchar},
+			{Op: BV, Ra: RegRP},
+		},
+		"putint": {
+			{Op: SYS, Imm: SysPutint},
+			{Op: BV, Ra: RegRP},
+		},
+		"exit": {
+			{Op: SYS, Imm: SysExit},
+			{Op: BV, Ra: RegRP}, // unreachable
+		},
+	}
+}

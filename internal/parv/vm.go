@@ -1,0 +1,329 @@
+package parv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+)
+
+// Stats accumulates the execution counters the paper's evaluation is
+// defined over.
+type Stats struct {
+	Instrs uint64 // instructions executed
+	Cycles uint64 // clock cycles (no cache model, as in §6.1)
+	Loads  uint64
+	Stores uint64
+
+	// Singleton memory references: accesses of simple variables of size
+	// 1, 2, or 4 bytes — not array elements, struct members, or pointer
+	// dereferences (§6.3, Table 5).
+	SingletonLoads  uint64
+	SingletonStores uint64
+
+	Calls uint64 // BL/BLR executed
+}
+
+// MemRefs returns the total dynamic memory references.
+func (s *Stats) MemRefs() uint64 { return s.Loads + s.Stores }
+
+// SingletonRefs returns the total dynamic singleton memory references.
+func (s *Stats) SingletonRefs() uint64 { return s.SingletonLoads + s.SingletonStores }
+
+// EdgeKey identifies a call-graph arc in profile data.
+type EdgeKey struct {
+	Caller, Callee string
+}
+
+// Profile is the gprof-style output of a profiled run: exact dynamic call
+// counts per arc and per procedure (§6.1 used gprof for the same purpose).
+type Profile struct {
+	Edges map[EdgeKey]uint64
+	Calls map[string]uint64
+}
+
+// haltRA is the sentinel return address installed in rp for the entry call;
+// returning to it stops the machine.
+const haltRA = TextBase - 4
+
+// Trap is a run-time fault (bad address, misalignment, step limit...).
+type Trap struct {
+	PC   int
+	Func string
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("parv trap at pc=%d (%s): %s", t.PC, t.Func, t.Msg)
+}
+
+// VM is a PARV instruction-level simulator.
+type VM struct {
+	exe  *Executable
+	regs [NumRegs]int32
+	pc   int
+	mem  []byte
+	out  bytes.Buffer
+
+	Stats Stats
+
+	// ProfileEdges enables call-edge counting.
+	ProfileEdges bool
+	edges        map[uint64]uint64
+	curFn        int32
+}
+
+// NewVM prepares a machine for one run of the executable.
+func NewVM(exe *Executable) *VM {
+	exe.ensureIndex()
+	vm := &VM{exe: exe, mem: make([]byte, exe.DataSize)}
+	copy(vm.mem, exe.Data)
+	vm.regs[RegSP] = DataBase + exe.DataSize - 64
+	vm.regs[RegDP] = DataBase
+	vm.regs[RegRP] = haltRA
+	vm.pc = exe.Entry
+	vm.curFn = int32(exe.FuncOfPC(exe.Entry))
+	vm.edges = make(map[uint64]uint64)
+	return vm
+}
+
+// Output returns everything the program wrote via putchar/putint.
+func (vm *VM) Output() string { return vm.out.String() }
+
+// Reg returns the current value of a register (for tests).
+func (vm *VM) Reg(r uint8) int32 { return vm.regs[r] }
+
+// Profile converts the collected edge counts to symbolic form.
+func (vm *VM) Profile() *Profile {
+	p := &Profile{Edges: make(map[EdgeKey]uint64), Calls: make(map[string]uint64)}
+	for k, n := range vm.edges {
+		caller := vm.exe.Funcs[k>>32].Name
+		callee := vm.exe.Funcs[k&0xffffffff].Name
+		p.Edges[EdgeKey{Caller: caller, Callee: callee}] += n
+		p.Calls[callee] += n
+	}
+	return p
+}
+
+func (vm *VM) trap(format string, args ...interface{}) error {
+	name := "?"
+	if f := vm.exe.FuncOfPC(vm.pc); f >= 0 {
+		name = vm.exe.Funcs[f].Name
+	}
+	return &Trap{PC: vm.pc, Func: name, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (vm *VM) load(addr int32, size uint8) (int32, error) {
+	off := int64(addr) - DataBase
+	if off < 0 || off+int64(size) > int64(len(vm.mem)) {
+		return 0, vm.trap("load of unmapped address %#x", uint32(addr))
+	}
+	switch size {
+	case 1:
+		return int32(vm.mem[off]), nil
+	case 2:
+		if off%2 != 0 {
+			return 0, vm.trap("misaligned halfword load at %#x", uint32(addr))
+		}
+		return int32(binary.LittleEndian.Uint16(vm.mem[off:])), nil
+	default:
+		if off%4 != 0 {
+			return 0, vm.trap("misaligned word load at %#x", uint32(addr))
+		}
+		return int32(binary.LittleEndian.Uint32(vm.mem[off:])), nil
+	}
+}
+
+func (vm *VM) store(addr int32, size uint8, v int32) error {
+	off := int64(addr) - DataBase
+	if off < 0 || off+int64(size) > int64(len(vm.mem)) {
+		return vm.trap("store to unmapped address %#x", uint32(addr))
+	}
+	switch size {
+	case 1:
+		vm.mem[off] = byte(v)
+	case 2:
+		if off%2 != 0 {
+			return vm.trap("misaligned halfword store at %#x", uint32(addr))
+		}
+		binary.LittleEndian.PutUint16(vm.mem[off:], uint16(v))
+	default:
+		if off%4 != 0 {
+			return vm.trap("misaligned word store at %#x", uint32(addr))
+		}
+		binary.LittleEndian.PutUint32(vm.mem[off:], uint32(v))
+	}
+	return nil
+}
+
+// Run executes until the program halts or maxInstrs instructions have
+// retired (0 means a default of 2 billion). It returns the exit status.
+func (vm *VM) Run(maxInstrs uint64) (int32, error) {
+	if maxInstrs == 0 {
+		maxInstrs = 2_000_000_000
+	}
+	code := vm.exe.Code
+	for {
+		if vm.Stats.Instrs >= maxInstrs {
+			return 0, vm.trap("instruction limit (%d) exceeded", maxInstrs)
+		}
+		if vm.pc < 0 || vm.pc >= len(code) {
+			return 0, vm.trap("pc out of range")
+		}
+		in := &code[vm.pc]
+		vm.Stats.Instrs++
+		r := &vm.regs
+		taken := false
+		next := vm.pc + 1
+
+		switch in.Op {
+		case NOP:
+		case LDI:
+			r[in.Rd] = in.Imm
+		case MOV:
+			r[in.Rd] = r[in.Ra]
+		case ADD:
+			r[in.Rd] = r[in.Ra] + r[in.Rb]
+		case ADDI:
+			r[in.Rd] = r[in.Ra] + in.Imm
+		case SUB:
+			r[in.Rd] = r[in.Ra] - r[in.Rb]
+		case SUBI:
+			r[in.Rd] = r[in.Ra] - in.Imm
+		case MUL:
+			r[in.Rd] = r[in.Ra] * r[in.Rb]
+		case DIV:
+			if r[in.Rb] == 0 {
+				return 0, vm.trap("division by zero")
+			}
+			r[in.Rd] = r[in.Ra] / r[in.Rb]
+		case REM:
+			if r[in.Rb] == 0 {
+				return 0, vm.trap("remainder by zero")
+			}
+			r[in.Rd] = r[in.Ra] % r[in.Rb]
+		case AND:
+			r[in.Rd] = r[in.Ra] & r[in.Rb]
+		case OR:
+			r[in.Rd] = r[in.Ra] | r[in.Rb]
+		case XOR:
+			r[in.Rd] = r[in.Ra] ^ r[in.Rb]
+		case ANDI:
+			r[in.Rd] = r[in.Ra] & in.Imm
+		case ORI:
+			r[in.Rd] = r[in.Ra] | in.Imm
+		case XORI:
+			r[in.Rd] = r[in.Ra] ^ in.Imm
+		case SHL:
+			r[in.Rd] = r[in.Ra] << uint(r[in.Rb]&31)
+		case SHR:
+			r[in.Rd] = r[in.Ra] >> uint(r[in.Rb]&31)
+		case SHLI:
+			r[in.Rd] = r[in.Ra] << uint(in.Imm&31)
+		case SHRI:
+			r[in.Rd] = r[in.Ra] >> uint(in.Imm&31)
+		case NEG:
+			r[in.Rd] = -r[in.Ra]
+		case NOT:
+			r[in.Rd] = ^r[in.Ra]
+		case CMP:
+			r[in.Rd] = b2i32(in.Cond.Holds(r[in.Ra], r[in.Rb]))
+		case CMPI:
+			r[in.Rd] = b2i32(in.Cond.Holds(r[in.Ra], in.Imm))
+		case LDW:
+			v, err := vm.load(r[in.Ra]+in.Imm, in.MemSize)
+			if err != nil {
+				return 0, err
+			}
+			r[in.Rd] = v
+			vm.Stats.Loads++
+			if in.Singleton {
+				vm.Stats.SingletonLoads++
+			}
+		case STW:
+			if err := vm.store(r[in.Ra]+in.Imm, in.MemSize, r[in.Rb]); err != nil {
+				return 0, err
+			}
+			vm.Stats.Stores++
+			if in.Singleton {
+				vm.Stats.SingletonStores++
+			}
+		case B:
+			next = int(in.Target)
+			taken = true
+		case CB:
+			if in.Cond.Holds(r[in.Ra], r[in.Rb]) {
+				next = int(in.Target)
+				taken = true
+			}
+		case CBI:
+			if in.Cond.Holds(r[in.Ra], in.Imm) {
+				next = int(in.Target)
+				taken = true
+			}
+		case BL:
+			r[in.Rd] = int32(TextBase + vm.pc + 1)
+			next = int(in.Target)
+			taken = true
+			vm.Stats.Calls++
+			vm.recordCall(next)
+		case BLR:
+			r[in.Rd] = int32(TextBase + vm.pc + 1)
+			t := int(r[in.Ra]) - TextBase
+			if t < 0 || t >= len(code) {
+				return 0, vm.trap("indirect call to bad address %#x", uint32(r[in.Ra]))
+			}
+			next = t
+			taken = true
+			vm.Stats.Calls++
+			vm.recordCall(next)
+		case BV:
+			if r[in.Ra] == haltRA {
+				vm.Stats.Cycles += in.Cycles(true)
+				return r[RegRet], nil
+			}
+			t := int(r[in.Ra]) - TextBase
+			if t < 0 || t >= len(code) {
+				return 0, vm.trap("jump to bad address %#x", uint32(r[in.Ra]))
+			}
+			next = t
+			taken = true
+			vm.curFn = vm.exe.funcOfPC[t]
+		case SYS:
+			switch in.Imm {
+			case SysExit:
+				vm.Stats.Cycles++
+				return r[26], nil
+			case SysPutchar:
+				vm.out.WriteByte(byte(r[26]))
+				r[RegRet] = r[26]
+			case SysPutint:
+				vm.out.WriteString(strconv.Itoa(int(r[26])))
+				r[RegRet] = r[26]
+			default:
+				return 0, vm.trap("unknown syscall %d", in.Imm)
+			}
+		default:
+			return 0, vm.trap("illegal opcode %s", in.Op)
+		}
+
+		r[RegZero] = 0 // r0 is hardwired
+		vm.Stats.Cycles += in.Cycles(taken)
+		vm.pc = next
+	}
+}
+
+func (vm *VM) recordCall(targetPC int) {
+	callee := vm.exe.funcOfPC[targetPC]
+	if vm.ProfileEdges {
+		vm.edges[uint64(vm.curFn)<<32|uint64(uint32(callee))]++
+	}
+	vm.curFn = callee
+}
+
+func b2i32(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

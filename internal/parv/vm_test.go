@@ -1,0 +1,341 @@
+package parv
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// exeFromFuncs links a set of hand-written object functions with main as
+// the entry.
+func exeFromFuncs(t *testing.T, globals []*DataSym, fns ...*ObjFunc) *Executable {
+	t.Helper()
+	obj := &Object{Module: "test.mc", Funcs: fns, Globals: globals}
+	exe, err := Link([]*Object{obj}, LinkConfig{DataSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// runMain builds main from the given instructions (with an appended
+// return) and runs it.
+func runMain(t *testing.T, code ...Instr) (*VM, int32) {
+	t.Helper()
+	code = append(code, Instr{Op: BV, Ra: RegRP})
+	exe := exeFromFuncs(t, nil, &ObjFunc{Name: "main", Code: code})
+	vm := NewVM(exe)
+	exit, err := vm.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, exit
+}
+
+func TestVMArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		code []Instr
+		want int32
+	}{
+		{"ldi", []Instr{{Op: LDI, Rd: RegRet, Imm: 42}}, 42},
+		{"add", []Instr{
+			{Op: LDI, Rd: 19, Imm: 40}, {Op: LDI, Rd: 20, Imm: 2},
+			{Op: ADD, Rd: RegRet, Ra: 19, Rb: 20}}, 42},
+		{"addi", []Instr{{Op: LDI, Rd: 19, Imm: 40}, {Op: ADDI, Rd: RegRet, Ra: 19, Imm: 2}}, 42},
+		{"sub", []Instr{
+			{Op: LDI, Rd: 19, Imm: 50}, {Op: LDI, Rd: 20, Imm: 8},
+			{Op: SUB, Rd: RegRet, Ra: 19, Rb: 20}}, 42},
+		{"subi", []Instr{{Op: LDI, Rd: 19, Imm: 50}, {Op: SUBI, Rd: RegRet, Ra: 19, Imm: 8}}, 42},
+		{"mul", []Instr{
+			{Op: LDI, Rd: 19, Imm: 6}, {Op: LDI, Rd: 20, Imm: 7},
+			{Op: MUL, Rd: RegRet, Ra: 19, Rb: 20}}, 42},
+		{"div", []Instr{
+			{Op: LDI, Rd: 19, Imm: -85}, {Op: LDI, Rd: 20, Imm: -2},
+			{Op: DIV, Rd: RegRet, Ra: 19, Rb: 20}}, 42},
+		{"rem", []Instr{
+			{Op: LDI, Rd: 19, Imm: 142}, {Op: LDI, Rd: 20, Imm: 100},
+			{Op: REM, Rd: RegRet, Ra: 19, Rb: 20}}, 42},
+		{"and", []Instr{
+			{Op: LDI, Rd: 19, Imm: 0x6b}, {Op: ANDI, Rd: RegRet, Ra: 19, Imm: 0x2e}}, 42},
+		{"or", []Instr{
+			{Op: LDI, Rd: 19, Imm: 0x28}, {Op: ORI, Rd: RegRet, Ra: 19, Imm: 0x02}}, 42},
+		{"xor", []Instr{
+			{Op: LDI, Rd: 19, Imm: 0xff}, {Op: XORI, Rd: RegRet, Ra: 19, Imm: 0xd5}}, 42},
+		{"shl", []Instr{
+			{Op: LDI, Rd: 19, Imm: 21}, {Op: SHLI, Rd: RegRet, Ra: 19, Imm: 1}}, 42},
+		{"shr-arith", []Instr{
+			{Op: LDI, Rd: 19, Imm: -84}, {Op: SHRI, Rd: 19, Ra: 19, Imm: 1},
+			{Op: NEG, Rd: RegRet, Ra: 19}}, 42},
+		{"not", []Instr{
+			{Op: LDI, Rd: 19, Imm: -43}, {Op: NOT, Rd: RegRet, Ra: 19}}, 42},
+		{"mov", []Instr{{Op: LDI, Rd: 19, Imm: 42}, {Op: MOV, Rd: RegRet, Ra: 19}}, 42},
+		{"cmp-true", []Instr{
+			{Op: LDI, Rd: 19, Imm: 5}, {Op: LDI, Rd: 20, Imm: 9},
+			{Op: CMP, Rd: RegRet, Ra: 19, Rb: 20, Cond: LT}}, 1},
+		{"cmpi-false", []Instr{
+			{Op: LDI, Rd: 19, Imm: 5}, {Op: CMPI, Rd: RegRet, Ra: 19, Imm: 5, Cond: GT}}, 0},
+		{"wrap", []Instr{
+			{Op: LDI, Rd: 19, Imm: 0x7fffffff}, {Op: ADDI, Rd: RegRet, Ra: 19, Imm: 1}}, -2147483648,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, got := runMain(t, tc.code...)
+			if got != tc.want {
+				t.Errorf("got %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVMZeroRegisterIsHardwired(t *testing.T) {
+	_, got := runMain(t,
+		Instr{Op: LDI, Rd: RegZero, Imm: 99},
+		Instr{Op: MOV, Rd: RegRet, Ra: RegZero},
+	)
+	if got != 0 {
+		t.Errorf("r0 = %d after write, want 0", got)
+	}
+}
+
+func TestVMLoadStoreWidths(t *testing.T) {
+	g := &DataSym{Name: "buf", Size: 16, Defined: true, Init: make([]byte, 16)}
+	fn := &ObjFunc{Name: "main", Code: []Instr{
+		{Op: LDI, Rd: 19, Imm: -2}, // 0xfffffffe
+		{Op: STW, Ra: RegDP, Rb: 19, Imm: 0, MemSize: 4},
+		{Op: STW, Ra: RegDP, Rb: 19, Imm: 4, MemSize: 1}, // truncates to 0xfe
+		{Op: STW, Ra: RegDP, Rb: 19, Imm: 8, MemSize: 2}, // truncates to 0xfffe
+		{Op: LDW, Rd: 20, Ra: RegDP, Imm: 4, MemSize: 1}, // zero-extends
+		{Op: LDW, Rd: 21, Ra: RegDP, Imm: 8, MemSize: 2},
+		{Op: LDW, Rd: 22, Ra: RegDP, Imm: 0, MemSize: 4},
+		// ret = b(254) + h(65534) + (w == -2)
+		{Op: ADD, Rd: RegRet, Ra: 20, Rb: 21},
+		{Op: CMPI, Rd: 23, Ra: 22, Imm: -2, Cond: EQ},
+		{Op: ADD, Rd: RegRet, Ra: RegRet, Rb: 23},
+		{Op: BV, Ra: RegRP},
+	}}
+	exe := exeFromFuncs(t, []*DataSym{g}, fn)
+	vm := NewVM(exe)
+	exit, err := vm.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int32(254 + 65534 + 1); exit != want {
+		t.Errorf("exit = %d, want %d", exit, want)
+	}
+	if vm.Stats.Loads != 3 || vm.Stats.Stores != 3 {
+		t.Errorf("loads/stores = %d/%d, want 3/3", vm.Stats.Loads, vm.Stats.Stores)
+	}
+}
+
+func TestVMSingletonAccounting(t *testing.T) {
+	g := &DataSym{Name: "g", Size: 4, Defined: true, Init: make([]byte, 4)}
+	fn := &ObjFunc{Name: "main", Code: []Instr{
+		{Op: STW, Ra: RegDP, Rb: 0, Imm: 0, MemSize: 4, Singleton: true},
+		{Op: LDW, Rd: 19, Ra: RegDP, Imm: 0, MemSize: 4, Singleton: true},
+		{Op: LDW, Rd: 20, Ra: RegDP, Imm: 0, MemSize: 4}, // array-style: not singleton
+		{Op: BV, Ra: RegRP},
+	}}
+	exe := exeFromFuncs(t, []*DataSym{g}, fn)
+	vm := NewVM(exe)
+	if _, err := vm.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Stats.SingletonLoads != 1 || vm.Stats.SingletonStores != 1 {
+		t.Errorf("singleton loads/stores = %d/%d, want 1/1",
+			vm.Stats.SingletonLoads, vm.Stats.SingletonStores)
+	}
+	if vm.Stats.SingletonRefs() != 2 {
+		t.Errorf("SingletonRefs = %d, want 2", vm.Stats.SingletonRefs())
+	}
+}
+
+func TestVMTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		code []Instr
+		want string
+	}{
+		{"null-load", []Instr{{Op: LDW, Rd: 19, Ra: 0, Imm: 0, MemSize: 4}}, "unmapped"},
+		{"null-store", []Instr{{Op: STW, Ra: 0, Rb: 0, Imm: 4, MemSize: 4}}, "unmapped"},
+		{"div-zero", []Instr{
+			{Op: LDI, Rd: 19, Imm: 1},
+			{Op: DIV, Rd: 19, Ra: 19, Rb: 0}}, "division by zero"},
+		{"rem-zero", []Instr{
+			{Op: LDI, Rd: 19, Imm: 1},
+			{Op: REM, Rd: 19, Ra: 19, Rb: 0}}, "remainder by zero"},
+		{"bad-indirect", []Instr{
+			{Op: LDI, Rd: 19, Imm: 12345},
+			{Op: BLR, Rd: RegRP, Ra: 19}}, "indirect call"},
+		{"misaligned", []Instr{
+			{Op: LDI, Rd: 19, Imm: DataBase + 1},
+			{Op: LDW, Rd: 20, Ra: 19, Imm: 0, MemSize: 4}}, "misaligned"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := append(tc.code, Instr{Op: BV, Ra: RegRP})
+			exe := exeFromFuncs(t, nil, &ObjFunc{Name: "main", Code: code})
+			vm := NewVM(exe)
+			_, err := vm.Run(100)
+			if err == nil {
+				t.Fatal("expected trap")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("trap = %v, want substring %q", err, tc.want)
+			}
+			var trap *Trap
+			if !asTrap(err, &trap) {
+				t.Errorf("error is not a *Trap: %T", err)
+			}
+		})
+	}
+}
+
+func asTrap(err error, out **Trap) bool {
+	t, ok := err.(*Trap)
+	if ok {
+		*out = t
+	}
+	return ok
+}
+
+func TestVMInstructionLimit(t *testing.T) {
+	// Infinite loop: B to self.
+	exe := exeFromFuncs(t, nil, &ObjFunc{Name: "main", Code: []Instr{
+		{Op: B, Target: 0},
+	}})
+	vm := NewVM(exe)
+	_, err := vm.Run(1000)
+	if err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Fatalf("expected instruction limit trap, got %v", err)
+	}
+	if vm.Stats.Instrs != 1000 {
+		t.Errorf("executed %d instructions, want 1000", vm.Stats.Instrs)
+	}
+}
+
+func TestVMCallsAndProfile(t *testing.T) {
+	leaf := &ObjFunc{Name: "leaf", Code: []Instr{
+		{Op: ADDI, Rd: RegRet, Ra: 26, Imm: 1},
+		{Op: BV, Ra: RegRP},
+	}}
+	// main calls leaf three times, saving rp in a callee-saves register
+	// (r3) to keep the test frame-free.
+	mainFn := &ObjFunc{Name: "main", Code: []Instr{
+		{Op: MOV, Rd: 3, Ra: RegRP},
+		{Op: LDI, Rd: 26, Imm: 0},
+		{Op: BL, Rd: RegRP},
+		{Op: MOV, Rd: 26, Ra: RegRet},
+		{Op: BL, Rd: RegRP},
+		{Op: MOV, Rd: 26, Ra: RegRet},
+		{Op: BL, Rd: RegRP},
+		{Op: BV, Ra: 3},
+	}, Relocs: []Reloc{
+		{Index: 2, Kind: RelCall, Sym: "leaf"},
+		{Index: 4, Kind: RelCall, Sym: "leaf"},
+		{Index: 6, Kind: RelCall, Sym: "leaf"},
+	}}
+	exe := exeFromFuncs(t, nil, mainFn, leaf)
+	vm := NewVM(exe)
+	vm.ProfileEdges = true
+	exit, err := vm.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 3 {
+		t.Errorf("exit = %d, want 3", exit)
+	}
+	if vm.Stats.Calls != 3 {
+		t.Errorf("calls = %d, want 3", vm.Stats.Calls)
+	}
+	p := vm.Profile()
+	if got := p.Edges[EdgeKey{Caller: "main", Callee: "leaf"}]; got != 3 {
+		t.Errorf("profile edge main->leaf = %d, want 3", got)
+	}
+	if got := p.Calls["leaf"]; got != 3 {
+		t.Errorf("profile calls[leaf] = %d, want 3", got)
+	}
+}
+
+func TestVMIndirectCall(t *testing.T) {
+	target := &ObjFunc{Name: "target", Code: []Instr{
+		{Op: LDI, Rd: RegRet, Imm: 77},
+		{Op: BV, Ra: RegRP},
+	}}
+	mainFn := &ObjFunc{Name: "main", Code: []Instr{
+		{Op: MOV, Rd: 3, Ra: RegRP},
+		{Op: LDI, Rd: 19}, // patched to target's address
+		{Op: BLR, Rd: RegRP, Ra: 19},
+		{Op: BV, Ra: 3},
+	}, Relocs: []Reloc{{Index: 1, Kind: RelFuncAddr, Sym: "target"}}}
+	exe := exeFromFuncs(t, nil, mainFn, target)
+	vm := NewVM(exe)
+	exit, err := vm.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 77 {
+		t.Errorf("exit = %d, want 77", exit)
+	}
+}
+
+func TestVMSyscalls(t *testing.T) {
+	mainFn := &ObjFunc{Name: "main", Code: []Instr{
+		{Op: LDI, Rd: 26, Imm: 'h'},
+		{Op: SYS, Imm: SysPutchar},
+		{Op: LDI, Rd: 26, Imm: -42},
+		{Op: SYS, Imm: SysPutint},
+		{Op: LDI, Rd: 26, Imm: 7},
+		{Op: SYS, Imm: SysExit},
+	}}
+	exe := exeFromFuncs(t, nil, mainFn)
+	vm := NewVM(exe)
+	exit, err := vm.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 7 {
+		t.Errorf("exit = %d, want 7", exit)
+	}
+	if got := vm.Output(); got != "h-42" {
+		t.Errorf("output = %q, want %q", got, "h-42")
+	}
+}
+
+func TestVMCycleCosts(t *testing.T) {
+	// One LDI (1) + one MUL (8) + halting BV (2) = 11 cycles.
+	vm, _ := runMain(t,
+		Instr{Op: LDI, Rd: 19, Imm: 3},
+		Instr{Op: MUL, Rd: RegRet, Ra: 19, Rb: 19},
+	)
+	if vm.Stats.Cycles != 1+8+2 {
+		t.Errorf("cycles = %d, want 11", vm.Stats.Cycles)
+	}
+	if vm.Stats.Instrs != 3 {
+		t.Errorf("instrs = %d, want 3", vm.Stats.Instrs)
+	}
+}
+
+// TestCondProperties checks Holds/Negate duality over random values.
+func TestCondProperties(t *testing.T) {
+	conds := []Cond{EQ, NE, LT, LE, GT, GE}
+	f := func(a, b int32) bool {
+		for _, c := range conds {
+			if c.Holds(a, b) == c.Negate().Holds(a, b) {
+				return false
+			}
+		}
+		// Trichotomy: exactly one of LT, EQ, GT.
+		n := 0
+		for _, c := range []Cond{LT, EQ, GT} {
+			if c.Holds(a, b) {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package pdb implements the program database (§4.3 of the paper): the
+// per-procedure register allocation directives computed by the program
+// analyzer and consulted by the compiler second phase.
+//
+// Because the directives are precomputed and stored in one database, the
+// second phase can compile source modules independently and in any order —
+// the property that makes the scheme work across module boundaries.
+package pdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ipra/internal/regs"
+)
+
+// PromotedGlobal records that a global variable is promoted to a specific
+// register in a procedure (§4.3).
+type PromotedGlobal struct {
+	Name string `json:"name"`
+	Reg  uint8  `json:"reg"`
+	// IsEntry marks web entry procedures, where the second phase inserts
+	// the load at entry (and store at exit if NeedStore).
+	IsEntry bool `json:"isEntry,omitempty"`
+	// NeedStore is false when no procedure of the web modifies the
+	// variable, eliminating the store at entry procedures (§5).
+	NeedStore bool `json:"needStore,omitempty"`
+	WebID     int  `json:"webID,omitempty"`
+}
+
+// ProcDirectives are the analyzer's directives for one procedure.
+type ProcDirectives struct {
+	Name string `json:"name"`
+
+	Promoted []PromotedGlobal `json:"promoted,omitempty"`
+
+	// The four register usage sets of §4.2.3. The register allocator must
+	// use each register according to the properties of its set.
+	Free   regs.Set `json:"free"`
+	Caller regs.Set `json:"caller"`
+	Callee regs.Set `json:"callee"`
+	MSpill regs.Set `json:"mspill"`
+
+	IsClusterRoot bool `json:"isClusterRoot,omitempty"`
+
+	// ClobberAtCalls, when HasClobber is set, lists every register a call
+	// to this procedure may destroy: its own (contracted) caller-saves and
+	// FREE registers, the linkage registers, and the closure over its call
+	// tree (§7.6.2, the [Chow 88]-style caller-saves preallocation). A
+	// caller may keep values across the call in any register outside this
+	// set.
+	ClobberAtCalls regs.Set `json:"clobberAtCalls,omitempty"`
+	HasClobber     bool     `json:"hasClobber,omitempty"`
+}
+
+// Database is the whole program database.
+type Database struct {
+	Procs map[string]*ProcDirectives `json:"procs"`
+
+	// EligibleGlobals lists the globals that are never aliased anywhere in
+	// the program; the second phase may promote these intraprocedurally
+	// when they are not web-promoted.
+	EligibleGlobals []string `json:"eligibleGlobals,omitempty"`
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{Procs: make(map[string]*ProcDirectives)}
+}
+
+// Standard returns the directives for a procedure the analyzer knows
+// nothing about: conventional linkage, nothing promoted.
+func Standard(name string) *ProcDirectives {
+	return &ProcDirectives{
+		Name:   name,
+		Caller: regs.StdCallerSaved(),
+		Callee: regs.StdCalleeSaved(),
+	}
+}
+
+// Lookup returns the directives for the named procedure, falling back to
+// the standard convention.
+func (db *Database) Lookup(name string) *ProcDirectives {
+	if db != nil {
+		if d, ok := db.Procs[name]; ok {
+			return d
+		}
+	}
+	return Standard(name)
+}
+
+// Validate checks internal consistency of the directives: the four sets
+// must be disjoint, and promoted registers must not appear in any set.
+func (d *ProcDirectives) Validate() error {
+	sets := []struct {
+		name string
+		s    regs.Set
+	}{
+		{"FREE", d.Free}, {"CALLER", d.Caller}, {"CALLEE", d.Callee}, {"MSPILL", d.MSpill},
+	}
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			if inter := sets[i].s.Intersect(sets[j].s); !inter.Empty() {
+				return fmt.Errorf("%s: %s and %s overlap on %s", d.Name, sets[i].name, sets[j].name, inter)
+			}
+		}
+	}
+	for _, p := range d.Promoted {
+		for _, s := range sets {
+			if s.s.Has(p.Reg) {
+				return fmt.Errorf("%s: promoted register r%d for %s appears in %s", d.Name, p.Reg, p.Name, s.name)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile serializes the database as JSON.
+func WriteFile(path string, db *Database) error {
+	data, err := json.MarshalIndent(db, "", " ")
+	if err != nil {
+		return fmt.Errorf("pdb: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a database.
+func ReadFile(path string) (*Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var db Database
+	if err := json.Unmarshal(data, &db); err != nil {
+		return nil, fmt.Errorf("pdb %s: %w", path, err)
+	}
+	if db.Procs == nil {
+		db.Procs = make(map[string]*ProcDirectives)
+	}
+	return &db, nil
+}

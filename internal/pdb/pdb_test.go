@@ -1,0 +1,89 @@
+package pdb
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ipra/internal/regs"
+)
+
+func TestStandardDirectives(t *testing.T) {
+	d := Standard("f")
+	if d.Name != "f" {
+		t.Error("name lost")
+	}
+	if d.Caller != regs.StdCallerSaved() || d.Callee != regs.StdCalleeSaved() {
+		t.Error("standard sets wrong")
+	}
+	if !d.Free.Empty() || !d.MSpill.Empty() {
+		t.Error("standard directives must have empty FREE/MSPILL")
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupFallsBack(t *testing.T) {
+	db := New()
+	db.Procs["known"] = &ProcDirectives{Name: "known"}
+	if db.Lookup("known").Name != "known" {
+		t.Error("lookup missed")
+	}
+	d := db.Lookup("unknown")
+	if d.Callee != regs.StdCalleeSaved() {
+		t.Error("fallback is not the standard convention")
+	}
+	var nilDB *Database
+	if nilDB.Lookup("x") == nil {
+		t.Error("nil database must still return standard directives")
+	}
+}
+
+func TestValidateCatchesOverlaps(t *testing.T) {
+	d := &ProcDirectives{
+		Name: "f",
+		Free: regs.Of(5), Callee: regs.Of(5),
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("overlapping FREE/CALLEE accepted")
+	}
+	d = &ProcDirectives{
+		Name:     "f",
+		Caller:   regs.Of(19),
+		Promoted: []PromotedGlobal{{Name: "g", Reg: 19}},
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("promoted register inside CALLER accepted")
+	}
+}
+
+func TestDatabaseRoundtrip(t *testing.T) {
+	db := New()
+	db.EligibleGlobals = []string{"a", "b"}
+	db.Procs["f"] = &ProcDirectives{
+		Name:   "f",
+		Free:   regs.Of(8, 9),
+		Caller: regs.Of(19, 20),
+		Callee: regs.Of(3),
+		MSpill: regs.Of(10),
+		Promoted: []PromotedGlobal{
+			{Name: "g", Reg: 17, IsEntry: true, NeedStore: true, WebID: 4},
+		},
+		IsClusterRoot: true,
+	}
+	path := filepath.Join(t.TempDir(), "p.pdb")
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Procs["f"], db.Procs["f"]) {
+		t.Errorf("roundtrip mismatch:\n%+v\n%+v", got.Procs["f"], db.Procs["f"])
+	}
+	if !reflect.DeepEqual(got.EligibleGlobals, db.EligibleGlobals) {
+		t.Error("eligible globals lost")
+	}
+}

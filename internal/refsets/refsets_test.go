@@ -1,0 +1,183 @@
+package refsets
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ipra/internal/callgraph"
+	"ipra/internal/summary"
+)
+
+// build constructs a graph from edges with per-node global references.
+func build(t *testing.T, n int, edges [][2]int, refs map[int][]string) (*callgraph.Graph, *Sets) {
+	t.Helper()
+	ms := &summary.ModuleSummary{Module: "m.mc"}
+	gset := map[string]bool{}
+	for i := 0; i < n; i++ {
+		rec := summary.ProcRecord{Name: fmt.Sprintf("p%d", i), Module: "m.mc"}
+		for _, e := range edges {
+			if e[0] == i {
+				rec.Calls = append(rec.Calls, summary.CallSite{Callee: fmt.Sprintf("p%d", e[1]), Freq: 1})
+			}
+		}
+		for _, gn := range refs[i] {
+			rec.GlobalRefs = append(rec.GlobalRefs, summary.GlobalRef{Name: gn, Freq: 1, Reads: 1})
+			gset[gn] = true
+		}
+		ms.Procs = append(ms.Procs, rec)
+	}
+	for gn := range gset {
+		ms.Globals = append(ms.Globals, summary.GlobalInfo{
+			Name: gn, Module: "m.mc", Size: 4, Defined: true, Scalar: true,
+		})
+	}
+	g, err := callgraph.Build([]*summary.ModuleSummary{ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := EligibleGlobals(g)
+	return g, Compute(g, vars)
+}
+
+func TestChain(t *testing.T) {
+	// p0 -> p1 -> p2; g referenced in p1 only.
+	g, s := build(t, 3, [][2]int{{0, 1}, {1, 2}}, map[int][]string{1: {"g"}})
+	n := func(name string) int { return g.NodeByName(name).ID }
+	if got := s.CRefNames(n("p0")); !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("C_REF[p0] = %v", got)
+	}
+	if got := s.CRefNames(n("p1")); got != nil {
+		t.Errorf("C_REF[p1] = %v, want empty", got)
+	}
+	if got := s.PRefNames(n("p2")); !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("P_REF[p2] = %v", got)
+	}
+	if got := s.PRefNames(n("p1")); got != nil {
+		t.Errorf("P_REF[p1] = %v, want empty", got)
+	}
+}
+
+func TestCycleReferencesPropagate(t *testing.T) {
+	// p0 -> p1 <-> p2; g referenced in p2.
+	g, s := build(t, 3, [][2]int{{0, 1}, {1, 2}, {2, 1}}, map[int][]string{2: {"g"}})
+	n := func(name string) int { return g.NodeByName(name).ID }
+	// Around the cycle, both P_REF and C_REF see g at p1 and p2.
+	if got := s.CRefNames(n("p1")); !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("C_REF[p1] = %v", got)
+	}
+	if got := s.CRefNames(n("p2")); !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("C_REF[p2] = %v (p2 reaches itself through the cycle)", got)
+	}
+	if got := s.PRefNames(n("p2")); !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("P_REF[p2] = %v", got)
+	}
+}
+
+// TestAgainstReachabilityDefinition property-checks the dataflow against
+// the defining equations computed by brute force:
+//
+//	C_REF[p] = ∪ { L_REF[q] : q reachable from p via ≥1 edge }
+//	P_REF[p] = ∪ { L_REF[q] : p reachable from q via ≥1 edge }
+func TestAgainstReachabilityDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vars := []string{"g0", "g1", "g2"}
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(9)
+		var edges [][2]int
+		for i := 0; i < n+rng.Intn(2*n); i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		refs := map[int][]string{}
+		for i := 0; i < n; i++ {
+			for _, v := range vars {
+				if rng.Intn(3) == 0 {
+					refs[i] = append(refs[i], v)
+				}
+			}
+		}
+		g, s := build(t, n, edges, refs)
+
+		// succ reachability via >=1 edge.
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+		}
+		for _, e := range edges {
+			reach[e[0]][e[1]] = true
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		lref := func(i int) map[string]bool {
+			m := map[string]bool{}
+			for _, v := range refs[i] {
+				m[v] = true
+			}
+			return m
+		}
+		for p := 0; p < n; p++ {
+			nd := g.NodeByName(fmt.Sprintf("p%d", p))
+			wantC := map[string]bool{}
+			wantP := map[string]bool{}
+			for q := 0; q < n; q++ {
+				if reach[p][q] {
+					for v := range lref(q) {
+						wantC[v] = true
+					}
+				}
+				if reach[q][p] {
+					for v := range lref(q) {
+						wantP[v] = true
+					}
+				}
+			}
+			if got := asSet(s.CRefNames(nd.ID)); !reflect.DeepEqual(got, wantC) {
+				t.Fatalf("trial %d: C_REF[p%d] = %v, want %v (edges %v refs %v)",
+					trial, p, got, wantC, edges, refs)
+			}
+			if got := asSet(s.PRefNames(nd.ID)); !reflect.DeepEqual(got, wantP) {
+				t.Fatalf("trial %d: P_REF[p%d] = %v, want %v (edges %v refs %v)",
+					trial, p, got, wantP, edges, refs)
+			}
+		}
+	}
+}
+
+func asSet(ss []string) map[string]bool {
+	m := map[string]bool{}
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func TestEligibility(t *testing.T) {
+	ms := &summary.ModuleSummary{Module: "m.mc",
+		Procs: []summary.ProcRecord{{Name: "main", Module: "m.mc"}},
+		Globals: []summary.GlobalInfo{
+			{Name: "ok", Module: "m.mc", Size: 4, Defined: true, Scalar: true},
+			{Name: "okchar", Module: "m.mc", Size: 1, Defined: true, Scalar: true},
+			{Name: "aliased", Module: "m.mc", Size: 4, Defined: true, Scalar: true, AddrTaken: true},
+			{Name: "bigarray", Module: "m.mc", Size: 400, Defined: true},
+			{Name: "externonly", Module: "m.mc", Size: 4, Scalar: true}, // not defined
+		}}
+	g, err := callgraph.Build([]*summary.ModuleSummary{ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EligibleGlobals(g)
+	sort.Strings(got)
+	want := []string{"ok", "okchar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("eligible = %v, want %v", got, want)
+	}
+}

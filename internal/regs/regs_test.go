@@ -1,0 +1,82 @@
+package regs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := Of(3, 5, 18)
+	if !s.Has(3) || !s.Has(5) || !s.Has(18) || s.Has(4) {
+		t.Error("membership wrong")
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+	s = s.Remove(5)
+	if s.Has(5) || s.Count() != 2 {
+		t.Error("remove failed")
+	}
+	s = s.Add(5)
+	if !s.Has(5) {
+		t.Error("add failed")
+	}
+	if got := Of(1, 2).Union(Of(2, 3)); got != Of(1, 2, 3) {
+		t.Errorf("union = %s", got)
+	}
+	if got := Of(1, 2, 3).Intersect(Of(2, 3, 4)); got != Of(2, 3) {
+		t.Errorf("intersect = %s", got)
+	}
+	if got := Of(1, 2, 3).Minus(Of(2)); got != Of(1, 3) {
+		t.Errorf("minus = %s", got)
+	}
+	if !Set(0).Empty() || Of(1).Empty() {
+		t.Error("empty predicate wrong")
+	}
+}
+
+func TestRegsOrdered(t *testing.T) {
+	rs := Of(18, 3, 10).Regs()
+	want := []uint8{3, 10, 18}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("Regs() = %v, want %v", rs, want)
+		}
+	}
+}
+
+func TestStandardSetsDisjoint(t *testing.T) {
+	if !StdCalleeSaved().Intersect(StdCallerSaved()).Empty() {
+		t.Error("callee-saves and caller-saves overlap")
+	}
+	if StdCalleeSaved().Count() != 16 {
+		t.Errorf("callee-saves count = %d, want 16 (as on PA-RISC)", StdCalleeSaved().Count())
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		x, y, z := Set(a), Set(b), Set(c)
+		// De Morgan-ish identities over Minus/Union/Intersect.
+		if x.Minus(y.Union(z)) != x.Minus(y).Minus(z) {
+			return false
+		}
+		if x.Intersect(y.Union(z)) != x.Intersect(y).Union(x.Intersect(z)) {
+			return false
+		}
+		// Union/intersect commute.
+		return x.Union(y) == y.Union(x) && x.Intersect(y) == y.Intersect(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(3, 18).String(); got != "{r3,r18}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Set(0).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}

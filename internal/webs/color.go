@@ -1,0 +1,248 @@
+package webs
+
+import (
+	"sort"
+
+	"ipra/internal/callgraph"
+	"ipra/internal/refsets"
+)
+
+// FilterOptions tune which webs are considered for coloring (§6.2: in the
+// PA Optimizer experiment, 1094 webs were found but only 489 considered —
+// the rest were "too sparse (low ratio of L_REF nodes to total nodes)" or
+// single-node webs with infrequent access).
+type FilterOptions struct {
+	// MinLRefRatio is the minimum fraction of members that must reference
+	// the variable locally.
+	MinLRefRatio float64
+	// MinSingleNodeWeight is the minimum estimated dynamic reference count
+	// for a single-node web to be worth a dedicated register.
+	MinSingleNodeWeight float64
+	// KeepAll disables the economic filters (webs with no entry nodes are
+	// still discarded — they cannot be promoted correctly). Used by the
+	// paper's illustrative examples and by tests.
+	KeepAll bool
+}
+
+// DefaultFilter mirrors the prototype's behaviour.
+func DefaultFilter() FilterOptions {
+	return FilterOptions{MinLRefRatio: 0.125, MinSingleNodeWeight: 8}
+}
+
+// ComputePriorities fills RefWeight, EntryWeight, LRefNodes and Priority
+// for every web. Following §4.1.3 and §7.5, the benefit estimate weighs
+// the memory traffic a level-2 compilation pays for the variable in each
+// member procedure by that procedure's estimated call count:
+//
+//   - a referencing procedure loads the variable at entry and stores it at
+//     exit (2 transfers per invocation), and
+//   - flushes/reloads it around every call it makes (2 transfers per
+//     outgoing call), since the callee may use the variable;
+//
+// promotion deletes all of these. Against that, every call to a web entry
+// node pays the inserted load/store plus the save/restore of the dedicated
+// callee-saves register (4 transfers).
+func ComputePriorities(g *callgraph.Graph, sets *refsets.Sets, ws []*Web) {
+	for _, w := range ws {
+		w.RefWeight = 0
+		w.LRefNodes = 0
+		vi := sets.Index[w.Var]
+		for id := range w.Nodes {
+			nd := g.Nodes[id]
+			if sets.LRef[id].Has(vi) {
+				w.LRefNodes++
+			}
+			if nd.Rec == nil || !sets.LRef[id].Has(vi) {
+				continue
+			}
+			calls := nd.Count
+			if calls < 1 {
+				calls = 1
+			}
+			var callsOut float64
+			for _, e := range nd.Out {
+				callsOut += e.Count
+			}
+			w.RefWeight += 2*calls + 2*callsOut
+		}
+		w.EntryWeight = 0
+		for _, e := range w.Entries {
+			c := g.Nodes[e].Count
+			if c < 1 {
+				c = 1
+			}
+			w.EntryWeight += 4 * c
+		}
+		w.Priority = w.RefWeight - w.EntryWeight
+	}
+}
+
+// Filter marks webs that should not be considered for coloring.
+func Filter(ws []*Web, opt FilterOptions) {
+	for _, w := range ws {
+		switch {
+		case len(w.Entries) == 0:
+			w.Discarded = true
+			w.DiscardReason = "no entry nodes (cannot insert load/store)"
+		case opt.KeepAll:
+			// keep everything else
+		case len(w.Nodes) == 1 && w.RefWeight < opt.MinSingleNodeWeight:
+			w.Discarded = true
+			w.DiscardReason = "single node with infrequent access"
+		case float64(w.LRefNodes)/float64(len(w.Nodes)) < opt.MinLRefRatio:
+			w.Discarded = true
+			w.DiscardReason = "too sparse (low L_REF ratio)"
+		case w.Priority <= 0:
+			w.Discarded = true
+			w.DiscardReason = "negative promotion benefit"
+		}
+	}
+}
+
+// Interfere reports whether two webs share a call graph node (§4.1.3:
+// interfering webs cannot be promoted to the same register).
+func Interfere(a, b *Web) bool {
+	if a == b {
+		return false
+	}
+	return sharesNode(a, b)
+}
+
+// considered returns the colorable candidates in priority order.
+func considered(ws []*Web) []*Web {
+	var cs []*Web
+	for _, w := range ws {
+		if !w.Discarded {
+			cs = append(cs, w)
+		}
+	}
+	sort.SliceStable(cs, func(i, j int) bool {
+		if cs[i].Priority != cs[j].Priority {
+			return cs[i].Priority > cs[j].Priority
+		}
+		return cs[i].ID < cs[j].ID
+	})
+	return cs
+}
+
+// Color assigns register indexes 0..numRegs-1 to webs in priority order
+// (§4.1.3): each web receives the lowest index not used by an interfering
+// web already colored. Webs left uncolored keep Color == -1 (their
+// variables may still be promoted intraprocedurally by the compiler second
+// phase).
+func Color(ws []*Web, numRegs int) int {
+	cs := considered(ws)
+	colored := 0
+	for i, w := range cs {
+		inUse := make([]bool, numRegs)
+		for j := 0; j < i; j++ {
+			x := cs[j]
+			if x.Color >= 0 && Interfere(w, x) {
+				inUse[x.Color] = true
+			}
+		}
+		w.Color = -1
+		for c := 0; c < numRegs; c++ {
+			if !inUse[c] {
+				w.Color = c
+				colored++
+				break
+			}
+		}
+	}
+	return colored
+}
+
+// GreedyColor implements the "greedy" strategy of §6.1 (Table 4 column D):
+// color as many webs as possible using the full callee-saves set, but
+// without reserving any callee-saves register a member procedure itself
+// requires — at every node, the registers taken by webs plus the node's
+// own callee-saves need must fit in the set.
+//
+// need maps node ID to the procedure's estimated callee-saves requirement;
+// totalRegs is the size of the callee-saves set.
+func GreedyColor(ws []*Web, g *callgraph.Graph, need func(int) int, totalRegs int) int {
+	cs := considered(ws)
+	webAt := make(map[int][]*Web) // node -> colored webs containing it
+	colored := 0
+	for _, w := range cs {
+		// Head-room check at every member node.
+		ok := true
+		for id := range w.Nodes {
+			if len(webAt[id])+need(id)+1 > totalRegs {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			w.Color = -1
+			continue
+		}
+		// Lowest color unused by interfering colored webs.
+		inUse := make([]bool, totalRegs)
+		for id := range w.Nodes {
+			for _, x := range webAt[id] {
+				if x.Color >= 0 {
+					inUse[x.Color] = true
+				}
+			}
+		}
+		w.Color = -1
+		for c := 0; c < totalRegs; c++ {
+			if !inUse[c] {
+				w.Color = c
+				break
+			}
+		}
+		if w.Color < 0 {
+			continue
+		}
+		colored++
+		for id := range w.Nodes {
+			webAt[id] = append(webAt[id], w)
+		}
+	}
+	return colored
+}
+
+// BlanketSelect implements [Wall 86]-style blanket promotion (Table 4
+// column E): the n most frequently used eligible globals — "as determined
+// by analyzing the prioritized web list" (§6.1) — each get a dedicated
+// register over the whole program. Every node that may reference the
+// variable joins the web; the start nodes are the entries.
+func BlanketSelect(g *callgraph.Graph, sets *refsets.Sets, ws []*Web, n int) []*Web {
+	// Total weight per variable from the prioritized web list.
+	weight := make(map[string]float64)
+	for _, w := range ws {
+		if !w.Discarded {
+			weight[w.Var] += w.RefWeight
+		}
+	}
+	vars := make([]string, 0, len(weight))
+	for v := range weight {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if weight[vars[i]] != weight[vars[j]] {
+			return weight[vars[i]] > weight[vars[j]]
+		}
+		return vars[i] < vars[j]
+	})
+	if len(vars) > n {
+		vars = vars[:n]
+	}
+
+	var out []*Web
+	for i, v := range vars {
+		w := &Web{
+			ID: 10000 + i, Var: v, Nodes: make(map[int]bool),
+			Color: i, Blanket: true,
+		}
+		for _, nd := range g.Nodes {
+			w.Nodes[nd.ID] = true
+		}
+		w.Entries = append(w.Entries, g.Starts...)
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package webs
+
+import (
+	"sort"
+
+	"ipra/internal/callgraph"
+	"ipra/internal/refsets"
+)
+
+// Merge implements the §7.6.1 re-merging extension: "independent webs of a
+// global variable can be re-merged to allow sharing of entry nodes, at the
+// expense of extra interferences."
+//
+// Separate webs of one variable each pay a load (and possibly a store) on
+// every call to their entry nodes. When the webs hang under a common, cold
+// ancestor — sibling procedures called from one driver loop, say — merging
+// them through the connecting region moves the single entry to the
+// ancestor, and the variable stays in its register across all the calls in
+// between. Merge performs the rewrite when the merged web's estimated
+// priority beats the sum of the originals'.
+func Merge(g *callgraph.Graph, sets *refsets.Sets, ws []*Web) []*Web {
+	maxID := 0
+	for _, w := range ws {
+		if w.ID > maxID {
+			maxID = w.ID
+		}
+	}
+	byVar := make(map[string][]*Web)
+	for _, w := range ws {
+		byVar[w.Var] = append(byVar[w.Var], w)
+	}
+
+	var out []*Web
+	vars := make([]string, 0, len(byVar))
+	for v := range byVar {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+
+	for _, v := range vars {
+		group := byVar[v]
+		if len(group) < 2 {
+			out = append(out, group...)
+			continue
+		}
+		merged := tryMerge(g, sets, v, group, maxID+1)
+		if merged == nil {
+			out = append(out, group...)
+			continue
+		}
+		maxID++
+		out = append(out, merged)
+	}
+	return out
+}
+
+// tryMerge builds the merged web for one variable's webs and returns it if
+// profitable, else nil.
+func tryMerge(g *callgraph.Graph, sets *refsets.Sets, v string, group []*Web, id int) *Web {
+	vi, ok := sets.Index[v]
+	if !ok {
+		return nil
+	}
+	// Common dominator of all entries.
+	var entries []int
+	for _, w := range group {
+		entries = append(entries, w.Entries...)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	dom := entries[0]
+	for _, e := range entries[1:] {
+		dom = commonDominator(g, dom, e)
+		if dom < 0 {
+			return nil // only the virtual root dominates them all
+		}
+	}
+	if g.Nodes[dom].Rec == nil {
+		return nil // cannot insert the entry load into unknown code
+	}
+
+	// Connecting region: nodes reachable from the dominator that reach a
+	// web node.
+	inWebs := map[int]bool{}
+	for _, w := range group {
+		for n := range w.Nodes {
+			inWebs[n] = true
+		}
+	}
+	region := connectingRegion(g, dom, inWebs)
+
+	w := &Web{ID: id, Var: v, Nodes: make(map[int]bool), Color: -1}
+	seed := make([]int, 0, len(region)+len(inWebs))
+	for n := range region {
+		seed = append(seed, n)
+	}
+	for n := range inWebs {
+		seed = append(seed, n)
+	}
+	sort.Ints(seed)
+	growWeb(g, sets, vi, w, seed)
+	computeEntries(g, w)
+	if len(w.Entries) == 0 {
+		return nil
+	}
+	// No member may lack a summary record (we must compile every member).
+	for n := range w.Nodes {
+		if g.Nodes[n].Rec == nil {
+			return nil
+		}
+	}
+
+	// Profitability: merged priority must beat the group's combined
+	// priority (discarded members contribute nothing).
+	tmp := []*Web{w}
+	ComputePriorities(g, sets, tmp)
+	var oldSum float64
+	for _, x := range group {
+		if !x.Discarded && x.Priority > 0 {
+			oldSum += x.Priority
+		}
+	}
+	if w.Priority <= oldSum {
+		return nil
+	}
+	return w
+}
+
+// commonDominator returns the nearest common ancestor of a and b in the
+// dominator tree, or -1 when only the virtual root dominates both.
+func commonDominator(g *callgraph.Graph, a, b int) int {
+	depth := func(n int) int {
+		if n < 0 {
+			return -1
+		}
+		return g.Nodes[n].DomDepth
+	}
+	for a != b {
+		if a < 0 || b < 0 {
+			return -1
+		}
+		if depth(a) >= depth(b) {
+			a = g.Nodes[a].IDom
+		} else {
+			b = g.Nodes[b].IDom
+		}
+	}
+	return a
+}
+
+// connectingRegion returns the nodes on paths from dom to any node in
+// targets (dom included).
+func connectingRegion(g *callgraph.Graph, dom int, targets map[int]bool) map[int]bool {
+	// Forward reachability from dom.
+	fwd := map[int]bool{dom: true}
+	stack := []int{dom}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Nodes[n].Out {
+			if !fwd[e.To] {
+				fwd[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	// Backward reachability from the targets.
+	bwd := map[int]bool{}
+	stack = stack[:0]
+	for t := range targets {
+		bwd[t] = true
+		stack = append(stack, t)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Nodes[n].In {
+			if !bwd[e.From] {
+				bwd[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	region := map[int]bool{}
+	for n := range fwd {
+		if bwd[n] {
+			region[n] = true
+		}
+	}
+	region[dom] = true
+	return region
+}

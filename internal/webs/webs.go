@@ -1,0 +1,301 @@
+// Package webs implements interprocedural global variable promotion
+// (§4.1 of the paper): partitioning the procedures that access each
+// eligible global variable into webs — call-graph live ranges — and
+// coloring the web interference graph onto a set of callee-saves
+// registers, so that
+//
+//   - a global is accessed from the same register in every procedure of a
+//     promoted web, with loads/stores only at web entry procedures; and
+//   - the same register can hold different globals in disjoint regions of
+//     the call graph (the improvement over [Wall 86]'s whole-program
+//     dedication, reproduced here as "blanket" promotion).
+package webs
+
+import (
+	"fmt"
+	"sort"
+
+	"ipra/internal/callgraph"
+	"ipra/internal/refsets"
+)
+
+// Web is a minimal call-graph subgraph for one global variable such that
+// the variable is referenced in no ancestor and no descendant of the
+// subgraph (§4.1.1).
+type Web struct {
+	ID  int
+	Var string
+
+	// Nodes is the set of call graph node IDs in the web.
+	Nodes map[int]bool
+	// Entries are the web's root nodes: members with no predecessor inside
+	// the web. The compiler second phase loads the global at their entry
+	// points and stores it back at their exits.
+	Entries []int
+
+	// FromCycle marks webs created for recursive call chains whose
+	// references would otherwise be missed (§4.1.2).
+	FromCycle bool
+
+	// Priority orders webs for coloring; see ComputePriorities.
+	Priority float64
+	// RefWeight is the estimated dynamic references to Var inside the web.
+	RefWeight float64
+	// EntryWeight is the estimated dynamic calls to entry nodes (each call
+	// pays a load and possibly a store).
+	EntryWeight float64
+	// LRefNodes counts members that actually reference Var locally.
+	LRefNodes int
+
+	// Discarded webs are never considered for coloring.
+	Discarded     bool
+	DiscardReason string
+
+	// Color is the index of the register assigned by coloring, or -1.
+	Color int
+	// Blanket marks webs synthesized by blanket promotion ([Wall 86]
+	// emulation): the register is dedicated over the whole program.
+	Blanket bool
+}
+
+// Contains reports whether the web contains node id.
+func (w *Web) Contains(id int) bool { return w.Nodes[id] }
+
+// NodeIDs returns the member node IDs in ascending order.
+func (w *Web) NodeIDs() []int {
+	ids := make([]int, 0, len(w.Nodes))
+	for id := range w.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// IsEntry reports whether node id is an entry node of the web.
+func (w *Web) IsEntry(id int) bool {
+	for _, e := range w.Entries {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *Web) String() string {
+	return fmt.Sprintf("web %d for %s: nodes=%v entries=%v color=%d", w.ID, w.Var, w.NodeIDs(), w.Entries, w.Color)
+}
+
+// ----------------------------------------------------------------------------
+// Web identification (Figure 2)
+
+// Identify computes the webs of every eligible global variable, following
+// the Compute_Webs/Expand_Web algorithm of Figure 2, plus the paper's
+// companion rule for recursive call chains.
+func Identify(g *callgraph.Graph, sets *refsets.Sets) []*Web {
+	var webs []*Web
+	for vi, v := range sets.Vars {
+		var vwebs []*Web
+		// Candidate web entry nodes: G ∈ L_REF[P] and G ∉ P_REF[P].
+		for _, nd := range g.Nodes {
+			p := nd.ID
+			if !sets.LRef[p].Has(vi) || sets.PRef[p].Has(vi) {
+				continue
+			}
+			if containedIn(vwebs, p) {
+				continue
+			}
+			w := &Web{Var: v, Nodes: make(map[int]bool), Color: -1}
+			growWeb(g, sets, vi, w, []int{p})
+			vwebs = mergeOverlap(vwebs, w)
+		}
+		// Recursive call chains: a cycle that references G but whose entry
+		// paths never do leaves G in P_REF all around the cycle, so no
+		// candidate entry exists. Put each such cycle in its own web and
+		// enlarge it for correctness (§4.1.2).
+		for _, nd := range g.Nodes {
+			p := nd.ID
+			if !nd.Recursive || !sets.LRef[p].Has(vi) || containedIn(vwebs, p) {
+				continue
+			}
+			w := &Web{Var: v, Nodes: make(map[int]bool), Color: -1, FromCycle: true}
+			var seed []int
+			for _, other := range g.Nodes {
+				if other.SCC == nd.SCC {
+					seed = append(seed, other.ID)
+				}
+			}
+			growWeb(g, sets, vi, w, seed)
+			vwebs = mergeOverlap(vwebs, w)
+		}
+		webs = append(webs, vwebs...)
+	}
+	for i, w := range webs {
+		w.ID = i + 1
+		computeEntries(g, w)
+	}
+	return webs
+}
+
+// growWeb runs the repeat/until loop of Compute_Webs: expand from the seed
+// nodes, then repeatedly pull in the external predecessors of any member
+// that has both internal and external predecessors, until every member's
+// predecessors are either all internal or all external.
+func growWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, seed []int) {
+	temp := seed
+	for {
+		for _, q := range temp {
+			expandWeb(g, sets, vi, w, q)
+		}
+		// S = members with both an internal and an external predecessor.
+		var nextTemp []int
+		seen := make(map[int]bool)
+		for z := range w.Nodes {
+			internal, external := false, false
+			for _, e := range g.Nodes[z].In {
+				if w.Nodes[e.From] {
+					internal = true
+				} else {
+					external = true
+				}
+			}
+			if internal && external {
+				for _, e := range g.Nodes[z].In {
+					if !w.Nodes[e.From] && !seen[e.From] {
+						seen[e.From] = true
+						nextTemp = append(nextTemp, e.From)
+					}
+				}
+			}
+		}
+		if len(nextTemp) == 0 {
+			return
+		}
+		sort.Ints(nextTemp)
+		temp = nextTemp
+	}
+}
+
+// expandWeb is Figure 2's Expand_Web: add Q, then recursively add every
+// successor that has the variable in its C_REF or L_REF set.
+func expandWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, q int) {
+	if w.Nodes[q] {
+		return
+	}
+	w.Nodes[q] = true
+	for _, e := range g.Nodes[q].Out {
+		s := e.To
+		if w.Nodes[s] {
+			continue
+		}
+		if sets.CRef[s].Has(vi) || sets.LRef[s].Has(vi) {
+			expandWeb(g, sets, vi, w, s)
+		}
+	}
+}
+
+// mergeOverlap adds w to ws, folding together any existing webs for the
+// same variable that share nodes with it (Figure 2's final merge step).
+func mergeOverlap(ws []*Web, w *Web) []*Web {
+	out := ws[:0]
+	for _, x := range ws {
+		if x.Var == w.Var && sharesNode(x, w) {
+			for id := range x.Nodes {
+				w.Nodes[id] = true
+			}
+			w.FromCycle = w.FromCycle || x.FromCycle
+			continue
+		}
+		out = append(out, x)
+	}
+	return append(out, w)
+}
+
+func sharesNode(a, b *Web) bool {
+	small, large := a, b
+	if len(b.Nodes) < len(a.Nodes) {
+		small, large = b, a
+	}
+	for id := range small.Nodes {
+		if large.Nodes[id] {
+			return true
+		}
+	}
+	return false
+}
+
+func containedIn(ws []*Web, id int) bool {
+	for _, w := range ws {
+		if w.Nodes[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// computeEntries fills w.Entries: members with no predecessor in the web.
+func computeEntries(g *callgraph.Graph, w *Web) {
+	w.Entries = w.Entries[:0]
+	for _, id := range w.NodeIDs() {
+		internal := false
+		for _, e := range g.Nodes[id].In {
+			if w.Nodes[e.From] && e.From != id {
+				internal = true
+				break
+			}
+			if e.From == id {
+				internal = true // self-recursive members cannot be entries
+				break
+			}
+		}
+		if !internal {
+			w.Entries = append(w.Entries, id)
+		}
+	}
+}
+
+// Validate checks the structural invariants §4.1.2 requires for
+// correctness; it is used by the property-based tests.
+func Validate(g *callgraph.Graph, sets *refsets.Sets, w *Web) error {
+	vi, ok := sets.Index[w.Var]
+	if !ok {
+		return fmt.Errorf("web %d: unknown variable %s", w.ID, w.Var)
+	}
+	if len(w.Nodes) == 0 {
+		return fmt.Errorf("web %d: empty", w.ID)
+	}
+	entries := make(map[int]bool, len(w.Entries))
+	for _, e := range w.Entries {
+		entries[e] = true
+		if !w.Nodes[e] {
+			return fmt.Errorf("web %d: entry %d not a member", w.ID, e)
+		}
+	}
+	for id := range w.Nodes {
+		hasInternal := false
+		for _, e := range g.Nodes[id].In {
+			if w.Nodes[e.From] {
+				hasInternal = true
+			} else if !entries[id] {
+				return fmt.Errorf("web %d: internal node %s has external predecessor %s",
+					w.ID, g.Nodes[id].Name, g.Nodes[e.From].Name)
+			}
+		}
+		if entries[id] && hasInternal {
+			return fmt.Errorf("web %d: entry node %s has internal predecessor", w.ID, g.Nodes[id].Name)
+		}
+	}
+	// No member may call an external procedure that references the
+	// variable (the web must be a complete live range).
+	for id := range w.Nodes {
+		for _, e := range g.Nodes[id].Out {
+			if w.Nodes[e.To] {
+				continue
+			}
+			if sets.LRef[e.To].Has(vi) || sets.CRef[e.To].Has(vi) {
+				return fmt.Errorf("web %d: member %s calls external %s which references %s",
+					w.ID, g.Nodes[id].Name, g.Nodes[e.To].Name, w.Var)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+// Package ipra is the public interface to an interprocedural register
+// allocation system reproducing Santhanam & Odnert, "Register Allocation
+// Across Procedure and Module Boundaries" (PLDI 1990).
+//
+// The system compiles MiniC (a C subset) for PARV (a PA-RISC-flavoured
+// virtual machine) using the paper's two-pass organization:
+//
+//  1. The compiler first phase parses each module, produces intermediate
+//     code, and emits a per-procedure summary record.
+//  2. The program analyzer builds the program call graph from the
+//     summaries and computes register allocation directives: webs of
+//     global variables colored onto callee-saves registers (global
+//     variable promotion) and cluster register-usage sets (spill code
+//     motion). The directives go into a program database.
+//  3. The compiler second phase optimizes and generates code for each
+//     module independently, consulting the program database.
+//  4. The linker binds the objects; the PARV simulator executes the result
+//     and reports cycles, memory references, and call-edge profiles.
+//
+// The Config presets Level2 and ConfigA..ConfigF correspond to the paper's
+// Table 4 columns.
+package ipra
+
+import (
+	"fmt"
+
+	"ipra/internal/codegen"
+	"ipra/internal/core"
+	"ipra/internal/ir"
+	"ipra/internal/irgen"
+	"ipra/internal/minic/parser"
+	"ipra/internal/minic/sem"
+	"ipra/internal/opt"
+	"ipra/internal/parv"
+	"ipra/internal/pdb"
+	"ipra/internal/summary"
+)
+
+// Source is one MiniC module (compilation unit).
+type Source struct {
+	Name string // module name, e.g. "main.mc"
+	Text []byte
+}
+
+// Config selects a compilation strategy.
+type Config struct {
+	// Name labels the configuration in reports ("L2", "A".."F").
+	Name string
+	// UseAnalyzer enables the program analyzer; when false the program is
+	// compiled with level-2 (intraprocedural) optimization only.
+	UseAnalyzer bool
+	// Analyzer configures the program analyzer when enabled.
+	Analyzer core.Options
+	// WantProfile marks configurations that use dynamic call counts; the
+	// caller must supply Profile (typically via CompileProfiled).
+	WantProfile bool
+	// Profile supplies exact call counts collected from a prior run.
+	Profile *parv.Profile
+	// DataSize overrides the simulated data memory size (bytes).
+	DataSize int32
+}
+
+// Level2 is the baseline: global optimization only, standard linkage.
+func Level2() Config {
+	return Config{Name: "L2"}
+}
+
+// ConfigA is spill code motion only (Table 4 column A).
+func ConfigA() Config {
+	o := core.DefaultOptions()
+	o.Promotion = core.PromoteNone
+	return Config{Name: "A", UseAnalyzer: true, Analyzer: o}
+}
+
+// ConfigB is spill code motion with profile information (column B).
+func ConfigB() Config {
+	c := ConfigA()
+	c.Name = "B"
+	c.WantProfile = true
+	return c
+}
+
+// ConfigC is spill motion plus 6-register web coloring (column C).
+func ConfigC() Config {
+	o := core.DefaultOptions()
+	return Config{Name: "C", UseAnalyzer: true, Analyzer: o}
+}
+
+// ConfigD is spill motion plus greedy coloring (column D).
+func ConfigD() Config {
+	o := core.DefaultOptions()
+	o.Promotion = core.PromoteGreedy
+	return Config{Name: "D", UseAnalyzer: true, Analyzer: o}
+}
+
+// ConfigE is spill motion plus blanket promotion of the 6 hottest globals
+// (column E, the [Wall 86] policy).
+func ConfigE() Config {
+	o := core.DefaultOptions()
+	o.Promotion = core.PromoteBlanket
+	return Config{Name: "E", UseAnalyzer: true, Analyzer: o}
+}
+
+// ConfigF is configuration C with profile information (column F).
+func ConfigF() Config {
+	c := ConfigC()
+	c.Name = "F"
+	c.WantProfile = true
+	return c
+}
+
+// Configs returns the paper's full configuration sweep, Table 4 order.
+func Configs() []Config {
+	return []Config{ConfigA(), ConfigB(), ConfigC(), ConfigD(), ConfigE(), ConfigF()}
+}
+
+// Program is a fully compiled and linked program plus the artifacts of
+// each stage, for inspection and tests.
+type Program struct {
+	Config    Config
+	Modules   []*ir.Module // phase-1 output (pre-optimization)
+	Summaries []*summary.ModuleSummary
+	Analysis  *core.Result // nil for Level2
+	DB        *pdb.Database
+	Objects   []*parv.Object
+	Exe       *parv.Executable
+}
+
+// Phase1 runs the compiler first phase on one module: parse, check, and
+// lower to intermediate code. Summary records are produced separately by
+// Summaries (they want an optimized copy, see §6).
+func Phase1(src Source) (*ir.Module, error) {
+	file, err := parser.ParseFile(src.Name, src.Text)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := sem.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	irm, err := irgen.Generate(mod)
+	if err != nil {
+		return nil, err
+	}
+	return irm, nil
+}
+
+// Summaries produces the summary file contents for each module. Following
+// the prototype described in §6, the first phase optimizes scratch copies
+// before summarizing: reference and call frequencies come from a copy
+// without global promotion (counts must reflect raw accesses), while the
+// callee-saves register estimate comes from a fully optimized copy, since
+// intraprocedural global promotion adds values that live across calls.
+func Summaries(mods []*ir.Module) []*summary.ModuleSummary {
+	var out []*summary.ModuleSummary
+	for _, m := range mods {
+		scratch := m.Clone()
+		for _, f := range scratch.Funcs {
+			opt.Level1(f)
+		}
+		ms := summary.SummarizeModule(scratch)
+
+		// Refine the register-need estimates on a level-2-optimized copy
+		// (module-local eligibility approximates what phase 2 will do).
+		local := make(map[string]bool)
+		for _, g := range m.Globals {
+			if g.Scalar && g.Defined && !g.AddrTaken && g.Size <= 4 {
+				local[g.Name] = true
+			}
+		}
+		full := m.Clone()
+		for _, f := range full.Funcs {
+			opt.Level2(f, local, nil)
+			for i := range ms.Procs {
+				if ms.Procs[i].Name == f.Name {
+					ms.Procs[i].CalleeSavesNeeded = summary.EstimateCalleeSaves(f)
+				}
+			}
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+// Compile runs the full pipeline over the sources.
+func Compile(sources []Source, cfg Config) (*Program, error) {
+	p := &Program{Config: cfg}
+
+	// ---- Compiler first phase, module at a time.
+	for _, src := range sources {
+		m, err := Phase1(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", src.Name, err)
+		}
+		p.Modules = append(p.Modules, m)
+	}
+	p.Summaries = Summaries(p.Modules)
+
+	// ---- Program analyzer.
+	if cfg.UseAnalyzer {
+		o := cfg.Analyzer
+		o.Profile = cfg.Profile
+		res, err := core.Analyze(p.Summaries, o)
+		if err != nil {
+			return nil, err
+		}
+		p.Analysis = res
+		p.DB = res.DB
+	} else {
+		p.DB = pdb.New()
+		p.DB.EligibleGlobals = eligibleFromSummaries(p.Summaries)
+	}
+
+	// ---- Compiler second phase, module at a time (order-independent).
+	eligible := make(map[string]bool, len(p.DB.EligibleGlobals))
+	for _, g := range p.DB.EligibleGlobals {
+		eligible[g] = true
+	}
+	for _, m := range p.Modules {
+		work := m.Clone()
+		for _, f := range work.Funcs {
+			dir := p.DB.Lookup(f.Name)
+			skip := make(map[string]bool, len(dir.Promoted))
+			for _, pg := range dir.Promoted {
+				skip[pg.Name] = true
+			}
+			// Web-promoted globals become pinned register references
+			// before scalar optimization, so copy propagation folds them
+			// into their uses (§5).
+			opt.ApplyWebDirectives(f, dir.Promoted)
+			opt.Level2(f, eligible, skip)
+		}
+		obj, err := codegen.Compile(work, p.DB)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		p.Objects = append(p.Objects, obj)
+	}
+
+	// ---- Link.
+	exe, err := parv.Link(p.Objects, parv.LinkConfig{DataSize: cfg.DataSize})
+	if err != nil {
+		return nil, err
+	}
+	p.Exe = exe
+	return p, nil
+}
+
+// eligibleFromSummaries computes program-wide promotion eligibility for the
+// level-2 baseline (scalar, defined, never aliased).
+func eligibleFromSummaries(sums []*summary.ModuleSummary) []string {
+	type info struct {
+		scalar, defined, aliased bool
+		size                     int32
+	}
+	m := make(map[string]*info)
+	for _, ms := range sums {
+		for _, g := range ms.Globals {
+			gi := m[g.Name]
+			if gi == nil {
+				gi = &info{}
+				m[g.Name] = gi
+			}
+			if g.Defined {
+				gi.defined = true
+				gi.scalar = g.Scalar
+				gi.size = g.Size
+			}
+			if g.AddrTaken {
+				gi.aliased = true
+			}
+		}
+	}
+	var out []string
+	for name, gi := range m {
+		if gi.scalar && gi.defined && !gi.aliased && gi.size <= 4 {
+			out = append(out, name)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// RunResult is the outcome of executing a compiled program on the
+// simulator.
+type RunResult struct {
+	Exit    int32
+	Output  string
+	Stats   parv.Stats
+	Profile *parv.Profile
+}
+
+// Run executes the program on the PARV simulator, collecting statistics
+// and (when profile is true) call-edge counts.
+func (p *Program) Run(maxInstrs uint64, profile bool) (*RunResult, error) {
+	vm := parv.NewVM(p.Exe)
+	vm.ProfileEdges = profile
+	exit, err := vm.Run(maxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Exit: exit, Output: vm.Output(), Stats: vm.Stats}
+	if profile {
+		res.Profile = vm.Profile()
+	}
+	return res, nil
+}
+
+// CompileProfiled implements the profile-guided configurations (B, F):
+// compile with heuristic counts, run once to collect gprof-style call
+// counts, then re-analyze and re-compile with the profile (§6.1).
+func CompileProfiled(sources []Source, cfg Config, maxInstrs uint64) (*Program, *RunResult, error) {
+	first, err := Compile(sources, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, err := first.Run(maxInstrs, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("profiling run: %w", err)
+	}
+	cfg.Profile = train.Profile
+	p, err := Compile(sources, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, train, nil
+}

@@ -1,0 +1,282 @@
+package ipra
+
+import (
+	"testing"
+)
+
+// compileAndRun compiles the sources under cfg and runs to completion,
+// failing the test on any error.
+func compileAndRun(t *testing.T, cfg Config, sources ...Source) *RunResult {
+	t.Helper()
+	p, err := Compile(sources, cfg)
+	if err != nil {
+		t.Fatalf("compile (%s): %v", cfg.Name, err)
+	}
+	res, err := p.Run(200_000_000, false)
+	if err != nil {
+		t.Fatalf("run (%s): %v", cfg.Name, err)
+	}
+	return res
+}
+
+// allConfigs compiles and runs under every configuration and checks that
+// the observable behaviour (exit code, output) is identical.
+func allConfigs(t *testing.T, wantExit int32, wantOut string, sources ...Source) {
+	t.Helper()
+	cfgs := append([]Config{Level2()}, ConfigA(), ConfigC(), ConfigD(), ConfigE())
+	for _, cfg := range cfgs {
+		res := compileAndRun(t, cfg, sources...)
+		if res.Exit != wantExit {
+			t.Errorf("%s: exit = %d, want %d", cfg.Name, res.Exit, wantExit)
+		}
+		if res.Output != wantOut {
+			t.Errorf("%s: output = %q, want %q", cfg.Name, res.Output, wantOut)
+		}
+	}
+	// Profiled configurations.
+	for _, cfg := range []Config{ConfigB(), ConfigF()} {
+		p, _, err := CompileProfiled(sources, cfg, 200_000_000)
+		if err != nil {
+			t.Fatalf("compile profiled (%s): %v", cfg.Name, err)
+		}
+		res, err := p.Run(200_000_000, false)
+		if err != nil {
+			t.Fatalf("run (%s): %v", cfg.Name, err)
+		}
+		if res.Exit != wantExit {
+			t.Errorf("%s: exit = %d, want %d", cfg.Name, res.Exit, wantExit)
+		}
+		if res.Output != wantOut {
+			t.Errorf("%s: output = %q, want %q", cfg.Name, res.Output, wantOut)
+		}
+	}
+}
+
+func src(name, text string) Source { return Source{Name: name, Text: []byte(text)} }
+
+func TestSmokeReturn(t *testing.T) {
+	allConfigs(t, 42, "", src("main.mc", `
+int main() { return 42; }
+`))
+}
+
+func TestSmokeArithmetic(t *testing.T) {
+	allConfigs(t, 30, "", src("main.mc", `
+int add(int a, int b) { return a + b; }
+int main() {
+	int x = 3;
+	int y = 4;
+	return add(x * 2, y * 6);
+}
+`))
+}
+
+func TestSmokeGlobals(t *testing.T) {
+	allConfigs(t, 46, "", src("main.mc", `
+int counter;
+int step;
+
+void bump() { counter = counter + step; }
+
+int main() {
+	int i;
+	counter = 0;
+	step = 1;
+	for (i = 0; i < 10; i++) {
+		bump();
+		step = i + 1;
+	}
+	return counter;
+}
+`))
+}
+
+func TestSmokeLoopsAndArrays(t *testing.T) {
+	allConfigs(t, 285, "", src("main.mc", `
+int squares[10];
+
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 10; i++) {
+		squares[i] = i * i;
+	}
+	for (i = 0; i < 10; i++) {
+		sum += squares[i];
+	}
+	return sum;
+}
+`))
+}
+
+func TestSmokeRecursion(t *testing.T) {
+	allConfigs(t, 120, "", src("main.mc", `
+int fact(int n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+int main() { return fact(5); }
+`))
+}
+
+func TestSmokeMultiModule(t *testing.T) {
+	allConfigs(t, 27, "",
+		src("main.mc", `
+extern int total;
+int addin(int x);
+int main() {
+	total = 2;
+	addin(5);
+	addin(20);
+	return total;
+}
+`),
+		src("lib.mc", `
+int total;
+int addin(int x) { total += x; return total; }
+`))
+}
+
+func TestSmokeStaticsPerModule(t *testing.T) {
+	allConfigs(t, 11, "",
+		src("a.mc", `
+static int hidden = 1;
+int geta() { hidden += 1; return hidden; }
+`),
+		src("b.mc", `
+static int hidden = 5;
+int getb() { hidden += 2; return hidden; }
+int geta();
+int main() { return geta() + getb() + 2; } // 2 + 7 + 2 = 11
+`))
+}
+
+func TestSmokeOutput(t *testing.T) {
+	allConfigs(t, 0, "hi 7\n", src("main.mc", `
+int main() {
+	putchar('h');
+	putchar('i');
+	putchar(' ');
+	putint(7);
+	putchar(10);
+	return 0;
+}
+`))
+}
+
+func TestSmokePointersAndStructs(t *testing.T) {
+	allConfigs(t, 16, "", src("main.mc", `
+struct Point { int x; int y; };
+
+struct Point pts[4];
+
+int sumvia(struct Point *p) { return p->x + p->y; }
+
+int main() {
+	int i;
+	int total = 0;
+	for (i = 0; i < 4; i++) {
+		pts[i].x = i;
+		pts[i].y = i + 1;
+	}
+	for (i = 0; i < 4; i++) {
+		total += sumvia(&pts[i]);
+	}
+	return total; // (0+1)+(1+2)+(2+3)+(3+4) = 16
+}
+`))
+}
+
+func TestSmokeFunctionPointers(t *testing.T) {
+	allConfigs(t, 9, "", src("main.mc", `
+int twice(int x) { return x * 2; }
+int thrice(int x) { return x * 3; }
+
+int (*op)(int);
+
+int main() {
+	int r = 0;
+	op = twice;
+	r += op(1);     // 2
+	op = thrice;
+	r += (*op)(2);  // 6
+	return r + 1;   // 9
+}
+`))
+}
+
+func TestSmokeStringsAndChars(t *testing.T) {
+	allConfigs(t, 0, "abc", src("main.mc", `
+char *msg = "abc";
+
+int strlen_(char *s) {
+	int n = 0;
+	while (s[n]) { n++; }
+	return n;
+}
+
+int main() {
+	int i;
+	int n = strlen_(msg);
+	for (i = 0; i < n; i++) { putchar(msg[i]); }
+	return 0;
+}
+`))
+}
+
+func TestSmokeManyArgs(t *testing.T) {
+	allConfigs(t, 28, "", src("main.mc", `
+int sum7(int a, int b, int c, int d, int e, int f, int g) {
+	return a + b + c + d + e + f + g;
+}
+int main() { return sum7(1, 2, 3, 4, 5, 6, 7); }
+`))
+}
+
+func TestSmokeShortCircuit(t *testing.T) {
+	allConfigs(t, 3, "", src("main.mc", `
+int calls;
+int truthy() { calls++; return 1; }
+int falsy() { calls++; return 0; }
+
+int main() {
+	int r = 0;
+	if (truthy() || truthy()) { r++; } // 1 call
+	if (falsy() && truthy()) { r--; }  // 1 call
+	if (calls == 2) { r += 2; }
+	return r; // 3
+}
+`))
+}
+
+func TestSmokeDoWhileBreakContinue(t *testing.T) {
+	allConfigs(t, 25, "", src("main.mc", `
+int main() {
+	int i = 0;
+	int sum = 0;
+	do {
+		i++;
+		if (i % 2 == 0) { continue; }
+		if (i > 9) { break; }
+		sum += i; // 1+3+5+7+9 = 25
+	} while (i < 100);
+	return sum;
+}
+`))
+}
+
+func TestSmokeTernaryAndCompound(t *testing.T) {
+	allConfigs(t, 13, "", src("main.mc", `
+int main() {
+	int a = 5;
+	int b = 9;
+	int m = a > b ? a : b;     // 9
+	m <<= 1;                   // 18
+	m /= 3;                    // 6
+	m |= 8;                    // 14
+	m ^= 3;                    // 13
+	m &= 15;                   // 13
+	return m;
+}
+`))
+}
