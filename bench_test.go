@@ -16,6 +16,7 @@ import (
 	"ipra"
 	"ipra/internal/benchprogs"
 	"ipra/internal/core"
+	"ipra/internal/pipeline"
 	"ipra/internal/progen"
 )
 
@@ -170,6 +171,70 @@ func BenchmarkCompile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ipra.Compile(sources, ipra.ConfigC()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// suiteSources loads every benchmark program's modules once.
+func suiteSources(b *testing.B) [][]ipra.Source {
+	b.Helper()
+	var out [][]ipra.Source
+	for _, bm := range benchprogs.All() {
+		out = append(out, sourcesOf(b, bm))
+	}
+	return out
+}
+
+// benchCompileSuite compiles the whole benchprogs suite under config C,
+// fanning across suiteJobs benchmarks at a time with moduleJobs workers
+// inside each compile. The cache is disabled so every iteration measures
+// real compilation work.
+func benchCompileSuite(b *testing.B, suiteJobs, moduleJobs int) {
+	suite := suiteSources(b)
+	cfg := ipra.ConfigC()
+	cfg.Jobs = moduleJobs
+	cfg.DisableCache = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := pipeline.ForEach(suiteJobs, len(suite), func(j int) error {
+			_, err := ipra.Compile(suite[j], cfg)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileSequential is the old single-worker pipeline: one
+// benchmark at a time, one module at a time.
+func BenchmarkCompileSequential(b *testing.B) { benchCompileSuite(b, 1, 1) }
+
+// BenchmarkCompileParallel is the parallel pipeline at full width: all
+// benchmarks in flight, modules fanned across GOMAXPROCS. Compare
+// against BenchmarkCompileSequential; with GOMAXPROCS >= 4 the wall
+// clock should drop by >= 2x (the analyzer and linker stay serial).
+func BenchmarkCompileParallel(b *testing.B) { benchCompileSuite(b, 0, 0) }
+
+// BenchmarkCompileCached measures the summary-cache path: the suite is
+// compiled once to fill the cache, then every iteration recompiles with
+// phase 1 and summaries served from it (what the Table 4 sweep does six
+// times per program).
+func BenchmarkCompileCached(b *testing.B) {
+	suite := suiteSources(b)
+	ipra.ResetPhase1Cache()
+	cfg := ipra.ConfigC()
+	for _, sources := range suite {
+		if _, err := ipra.Compile(sources, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sources := range suite {
+			if _, err := ipra.Compile(sources, cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

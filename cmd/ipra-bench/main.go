@@ -23,6 +23,7 @@ func main() {
 		raw      = flag.Bool("raw", false, "print absolute counter values")
 		webstats = flag.Bool("webstats", false, "print the §6.2 web census on a generated large program")
 		only     = flag.String("bench", "", "run a single benchmark")
+		jobs     = flag.Int("j", 0, "parallel jobs for the sweep and compiler (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -33,7 +34,7 @@ func main() {
 		return
 	}
 
-	opt := bench.Options{}
+	opt := bench.Options{Jobs: *jobs}
 	if *only != "" {
 		opt.Benchmarks = []string{*only}
 	}

@@ -26,12 +26,10 @@ import (
 	"ipra"
 	"ipra/internal/codegen"
 	"ipra/internal/ir"
-	"ipra/internal/irgen"
-	"ipra/internal/minic/parser"
-	"ipra/internal/minic/sem"
 	"ipra/internal/opt"
 	"ipra/internal/parv"
 	"ipra/internal/pdb"
+	"ipra/internal/pipeline"
 	"ipra/internal/summary"
 )
 
@@ -42,15 +40,16 @@ func main() {
 		link    = flag.String("link", "", "link object files into the named executable image")
 		pdbPath = flag.String("pdb", "", "program database for phase 2 (from ipra-analyze)")
 		outDir  = flag.String("o", ".", "output directory")
+		jobs    = flag.Int("j", 0, "compile modules in parallel (0 = one job per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *phase1:
-		err = runPhase1(flag.Args(), *outDir)
+		err = runPhase1(flag.Args(), *outDir, *jobs)
 	case *phase2:
-		err = runPhase2(flag.Args(), *pdbPath, *outDir)
+		err = runPhase2(flag.Args(), *pdbPath, *outDir, *jobs)
 	case *link != "":
 		err = runLink(flag.Args(), *link)
 	default:
@@ -68,41 +67,46 @@ func stem(path string) string {
 	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
-func runPhase1(files []string, outDir string) error {
+// runPhase1 compiles each source module independently on the worker
+// pool: parse, check, lower, write the intermediate file and the summary
+// file. Progress lines print in argument order once everything finishes,
+// so parallel and sequential runs emit identical output.
+func runPhase1(files []string, outDir string, jobs int) error {
 	if len(files) == 0 {
 		return fmt.Errorf("phase1: no source files")
 	}
-	for _, f := range files {
+	lines, err := pipeline.Map(jobs, files, func(_ int, f string) (string, error) {
 		text, err := os.ReadFile(f)
 		if err != nil {
-			return err
+			return "", err
 		}
-		file, err := parser.ParseFile(filepath.Base(f), text)
+		irm, err := ipra.Phase1(ipra.Source{Name: filepath.Base(f), Text: text})
 		if err != nil {
-			return err
-		}
-		mod, err := sem.Check(file)
-		if err != nil {
-			return err
-		}
-		irm, err := irgen.Generate(mod)
-		if err != nil {
-			return err
+			return "", err
 		}
 		if err := ir.WriteFile(filepath.Join(outDir, stem(f)+".ir"), irm); err != nil {
-			return err
+			return "", err
 		}
 		// Summaries reflect optimized code (§6).
 		ms := ipra.Summaries([]*ir.Module{irm})[0]
 		if err := summary.WriteFile(filepath.Join(outDir, stem(f)+".sum"), ms); err != nil {
-			return err
+			return "", err
 		}
-		fmt.Printf("mcc: %s -> %s.ir, %s.sum\n", f, stem(f), stem(f))
+		return fmt.Sprintf("mcc: %s -> %s.ir, %s.sum", f, stem(f), stem(f)), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	return nil
 }
 
-func runPhase2(files []string, pdbPath, outDir string) error {
+// runPhase2 compiles each intermediate file independently on the worker
+// pool; the program database is shared read-only, exactly as the paper's
+// order-independent second phase requires (§4.3).
+func runPhase2(files []string, pdbPath, outDir string, jobs int) error {
 	if len(files) == 0 {
 		return fmt.Errorf("phase2: no intermediate files")
 	}
@@ -118,10 +122,10 @@ func runPhase2(files []string, pdbPath, outDir string) error {
 	for _, g := range db.EligibleGlobals {
 		eligible[g] = true
 	}
-	for _, f := range files {
+	lines, err := pipeline.Map(jobs, files, func(_ int, f string) (string, error) {
 		m, err := ir.ReadFile(f)
 		if err != nil {
-			return err
+			return "", err
 		}
 		for _, fn := range m.Funcs {
 			dir := db.Lookup(fn.Name)
@@ -134,13 +138,19 @@ func runPhase2(files []string, pdbPath, outDir string) error {
 		}
 		obj, err := codegen.Compile(m, db)
 		if err != nil {
-			return err
+			return "", err
 		}
 		out := filepath.Join(outDir, stem(f)+".obj")
 		if err := writeObject(out, obj); err != nil {
-			return err
+			return "", err
 		}
-		fmt.Printf("mcc: %s -> %s\n", f, out)
+		return fmt.Sprintf("mcc: %s -> %s", f, out), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	return nil
 }

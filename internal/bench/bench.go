@@ -18,6 +18,7 @@ import (
 
 	"ipra"
 	"ipra/internal/benchprogs"
+	"ipra/internal/pipeline"
 )
 
 // Cell is one measurement of one benchmark under one configuration.
@@ -56,11 +57,17 @@ type Options struct {
 	Benchmarks []string
 	// MaxInstrsScale scales each benchmark's instruction budget.
 	MaxInstrsScale float64
+	// Jobs bounds sweep parallelism: 0 uses one worker per CPU, 1 runs
+	// the sweep sequentially. The (benchmark, configuration) cells are
+	// independent measurements — the simulator counts cycles
+	// deterministically — so the tables are identical at every setting.
+	Jobs int
 }
 
 // RunBenchmark measures one benchmark under the baseline and every
-// configuration.
-func RunBenchmark(b benchprogs.Benchmark) (*Row, error) {
+// configuration, fanning the configuration cells across jobs workers
+// (the L2 baseline is measured first: every cell normalizes against it).
+func RunBenchmark(b benchprogs.Benchmark, jobs int) (*Row, error) {
 	files, err := b.Sources()
 	if err != nil {
 		return nil, err
@@ -72,25 +79,37 @@ func RunBenchmark(b benchprogs.Benchmark) (*Row, error) {
 
 	row := &Row{Benchmark: b.Name, Description: b.Description}
 
-	base, err := measure(sources, ipra.Level2(), b.MaxInstrs)
+	base, err := measure(sources, withJobs(ipra.Level2(), jobs), b.MaxInstrs)
 	if err != nil {
 		return nil, fmt.Errorf("%s/L2: %w", b.Name, err)
 	}
 	row.Baseline = *base
 
-	for _, cfg := range ipra.Configs() {
-		cell, err := measure(sources, cfg, b.MaxInstrs)
+	cells, err := pipeline.Map(jobs, ipra.Configs(), func(_ int, cfg ipra.Config) (Cell, error) {
+		cell, err := measure(sources, withJobs(cfg, jobs), b.MaxInstrs)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", b.Name, cfg.Name, err)
+			return Cell{}, fmt.Errorf("%s/%s: %w", b.Name, cfg.Name, err)
 		}
 		cell.CyclesImprovement = pctImprovement(base.Cycles, cell.Cycles)
 		cell.SingletonReduction = pctImprovement(base.SingletonRefs, cell.SingletonRefs)
+		return *cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range cells {
 		if cell.Exit != base.Exit || cell.Output != base.Output {
-			row.Mismatch = append(row.Mismatch, cfg.Name)
+			row.Mismatch = append(row.Mismatch, cell.Config)
 		}
-		row.Cells = append(row.Cells, *cell)
+		row.Cells = append(row.Cells, cell)
 	}
 	return row, nil
+}
+
+// withJobs threads the sweep's worker budget into each compilation.
+func withJobs(cfg ipra.Config, jobs int) ipra.Config {
+	cfg.Jobs = jobs
+	return cfg
 }
 
 func measure(sources []ipra.Source, cfg ipra.Config, maxInstrs uint64) (*Cell, error) {
@@ -126,20 +145,20 @@ func pctImprovement(base, v uint64) float64 {
 	return 100 * (float64(base) - float64(v)) / float64(base)
 }
 
-// RunAll measures the whole suite.
+// RunAll measures the whole suite, fanning the benchmarks across
+// opt.Jobs workers. Rows come back in suite (Table 3) order regardless
+// of completion order.
 func RunAll(opt Options) ([]*Row, error) {
-	var rows []*Row
+	var selected []benchprogs.Benchmark
 	for _, b := range benchprogs.All() {
 		if len(opt.Benchmarks) > 0 && !contains(opt.Benchmarks, b.Name) {
 			continue
 		}
-		row, err := RunBenchmark(b)
-		if err != nil {
-			return rows, err
-		}
-		rows = append(rows, row)
+		selected = append(selected, b)
 	}
-	return rows, nil
+	return pipeline.Map(opt.Jobs, selected, func(_ int, b benchprogs.Benchmark) (*Row, error) {
+		return RunBenchmark(b, opt.Jobs)
+	})
 }
 
 func contains(ss []string, s string) bool {

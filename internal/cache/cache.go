@@ -1,0 +1,172 @@
+// Package cache implements the content-addressed phase-1/summary cache.
+//
+// The compiler first phase and the summary computation depend only on a
+// module's source text (and on the phase-1 implementation itself) — never
+// on the analyzer configuration, which only steers the second phase. The
+// benchmark harness therefore recompiles byte-identical phase-1 output
+// once per configuration (L2 plus the six Table 4 columns), and the
+// profile-guided configurations compile everything twice more. Keying the
+// phase-1 module and its summary record on a content hash of the source
+// lets all of those compiles after the first skip straight to the
+// analyzer.
+//
+// Entries are stored gob-encoded and decoded on every hit, so each caller
+// receives private copies: the optimizer mutates IR in place, and a cache
+// that handed out shared pointers would let one compilation corrupt
+// another. Decoding is the same work Module.Clone already does once per
+// compile, so a hit still saves the parse, semantic analysis, IR
+// generation, and the two optimized scratch clones behind a summary.
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"ipra/internal/ir"
+	"ipra/internal/summary"
+)
+
+// Key identifies one module's phase-1 artifacts by content.
+type Key [sha256.Size]byte
+
+// SourceKey hashes a module's name and source text together with a
+// fingerprint of everything else the cached artifacts depend on (the
+// phase-1 implementation version and any configuration that reaches
+// phase 1). Two sources collide only if every component matches.
+func SourceKey(name string, text []byte, fingerprint string) Key {
+	h := sha256.New()
+	var n [8]byte
+	put := func(b []byte) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	put([]byte(fingerprint))
+	put([]byte(name))
+	put(text)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// entry is one cached module: the gob bytes plus an LRU clock reading.
+type entry struct {
+	data    []byte
+	lastUse uint64
+}
+
+// payload is what gets encoded into an entry.
+type payload struct {
+	Module  *ir.Module
+	Summary *summary.ModuleSummary
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// Cache is a bounded, concurrency-safe phase-1/summary cache.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	clock   uint64
+	entries map[Key]*entry
+	stats   Stats
+}
+
+// DefaultMaxEntries bounds the process-wide cache: comfortably above the
+// benchmark suite's module count, small enough that even large modules
+// keep the cache in the tens of megabytes.
+const DefaultMaxEntries = 256
+
+// New returns a cache holding at most max entries (<=0 selects
+// DefaultMaxEntries). The least recently used entry is evicted on
+// overflow.
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{max: max, entries: make(map[Key]*entry)}
+}
+
+// Get returns private copies of the cached module and summary, or ok =
+// false on a miss. The returned values share no memory with the cache or
+// with any other caller.
+func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
+	c.mu.Lock()
+	e := c.entries[k]
+	if e == nil {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.stats.Hits++
+	data := e.data
+	c.mu.Unlock()
+
+	// Decode outside the lock: it is the expensive part of a hit.
+	var p payload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		// A decode failure means the entry is corrupt; drop it and report
+		// a miss so the caller recompiles.
+		c.mu.Lock()
+		delete(c.entries, k)
+		c.stats.Entries = len(c.entries)
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	return p.Module, p.Summary, true
+}
+
+// Put stores the module and summary under k. The values are encoded
+// immediately, so the caller remains free to mutate its copies afterward.
+func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payload{Module: m, Summary: ms}); err != nil {
+		return fmt.Errorf("cache: encode %s: %w", m.Name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	c.entries[k] = &entry{data: buf.Bytes(), lastUse: c.clock}
+	for len(c.entries) > c.max {
+		var oldest Key
+		var oldestUse uint64
+		first := true
+		for key, e := range c.entries {
+			if first || e.lastUse < oldestUse {
+				oldest, oldestUse, first = key, e.lastUse, false
+			}
+		}
+		delete(c.entries, oldest)
+		c.stats.Evictions++
+	}
+	c.stats.Entries = len(c.entries)
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// Reset empties the cache and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*entry)
+	c.stats = Stats{}
+	c.clock = 0
+}

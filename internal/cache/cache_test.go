@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"testing"
+
+	"ipra/internal/ir"
+	"ipra/internal/summary"
+)
+
+func testModule(name string) *ir.Module {
+	return &ir.Module{
+		Name:    name,
+		Globals: []*ir.Global{{Name: "g", Module: name, Size: 4, Defined: true, Scalar: true}},
+	}
+}
+
+func testSummary(name string) *summary.ModuleSummary {
+	return &summary.ModuleSummary{
+		Module: name,
+		Procs:  []summary.ProcRecord{{Name: "main", Module: name, CalleeSavesNeeded: 3}},
+	}
+}
+
+func TestSourceKeyComponents(t *testing.T) {
+	base := SourceKey("m.mc", []byte("int g;"), "v1")
+	if SourceKey("m.mc", []byte("int g;"), "v1") != base {
+		t.Error("identical inputs must hash identically")
+	}
+	if SourceKey("n.mc", []byte("int g;"), "v1") == base {
+		t.Error("name must be part of the key")
+	}
+	if SourceKey("m.mc", []byte("int h;"), "v1") == base {
+		t.Error("source text must be part of the key")
+	}
+	if SourceKey("m.mc", []byte("int g;"), "v2") == base {
+		t.Error("fingerprint must be part of the key")
+	}
+	// Length-prefixing keeps field boundaries unambiguous.
+	if SourceKey("ab", []byte("c"), "") == SourceKey("a", []byte("bc"), "") {
+		t.Error("shifting bytes between name and text must change the key")
+	}
+}
+
+func TestGetReturnsIsolatedCopies(t *testing.T) {
+	c := New(8)
+	k := SourceKey("m.mc", []byte("x"), "")
+	if err := c.Put(k, testModule("m.mc"), testSummary("m.mc")); err != nil {
+		t.Fatal(err)
+	}
+
+	m1, s1, ok := c.Get(k)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	// Corrupt the first copies; later hits must be unaffected.
+	m1.Globals[0].Name = "corrupted"
+	s1.Procs[0].CalleeSavesNeeded = 99
+
+	m2, s2, ok := c.Get(k)
+	if !ok {
+		t.Fatal("expected second hit")
+	}
+	if m2.Globals[0].Name != "g" {
+		t.Errorf("cached module shares memory with a previous Get: global = %q", m2.Globals[0].Name)
+	}
+	if s2.Procs[0].CalleeSavesNeeded != 3 {
+		t.Errorf("cached summary shares memory with a previous Get: need = %d", s2.Procs[0].CalleeSavesNeeded)
+	}
+}
+
+func TestMissAndStats(t *testing.T) {
+	c := New(8)
+	if _, _, ok := c.Get(SourceKey("absent", nil, "")); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	k := SourceKey("m.mc", []byte("x"), "")
+	if err := c.Put(k, testModule("m.mc"), testSummary("m.mc")); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(k)
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", s)
+	}
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("after Reset, stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	ka := SourceKey("a", nil, "")
+	kb := SourceKey("b", nil, "")
+	kc := SourceKey("c", nil, "")
+	for _, k := range []Key{ka, kb} {
+		if err := c.Put(k, testModule("m"), testSummary("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Get(ka) // b is now least recently used
+	if err := c.Put(kc, testModule("m"), testSummary("m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(kb); ok {
+		t.Error("least recently used entry b should have been evicted")
+	}
+	if _, _, ok := c.Get(ka); !ok {
+		t.Error("recently used entry a should have survived")
+	}
+	if _, _, ok := c.Get(kc); !ok {
+		t.Error("new entry c should be present")
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+}

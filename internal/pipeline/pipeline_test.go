@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Errorf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		var ran int64
+		seen := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran != int64(n) {
+			t.Errorf("workers=%d: ran %d of %d", workers, ran, n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 3 || i == 11 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Errorf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachSequentialStopsEarly(t *testing.T) {
+	var ran int64
+	boom := errors.New("boom")
+	err := ForEach(1, 10, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("sequential run executed %d items, want 3 (stop at first error)", ran)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if !strings.Contains(fmt.Sprint(r), "kaboom") {
+			t.Fatalf("panic value %v does not mention original panic", r)
+		}
+	}()
+	_ = ForEach(4, 8, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	in := make([]int, 64)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := Map(8, in, func(i, v int) (string, error) {
+		return fmt.Sprintf("%d*2=%d", i, v*2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		want := fmt.Sprintf("%d*2=%d", i, i*2)
+		if s != want {
+			t.Errorf("out[%d] = %q, want %q", i, s, want)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(4, []int{0, 1, 2}, func(i, v int) (int, error) {
+		if v == 1 {
+			return 0, errors.New("no")
+		}
+		return v, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -24,6 +24,7 @@ package ipra
 import (
 	"fmt"
 
+	"ipra/internal/cache"
 	"ipra/internal/codegen"
 	"ipra/internal/core"
 	"ipra/internal/ir"
@@ -33,6 +34,7 @@ import (
 	"ipra/internal/opt"
 	"ipra/internal/parv"
 	"ipra/internal/pdb"
+	"ipra/internal/pipeline"
 	"ipra/internal/summary"
 )
 
@@ -58,6 +60,17 @@ type Config struct {
 	Profile *parv.Profile
 	// DataSize overrides the simulated data memory size (bytes).
 	DataSize int32
+	// Jobs bounds compiler parallelism: 0 uses one worker per CPU
+	// (GOMAXPROCS), 1 forces the sequential path, higher values set the
+	// pool size explicitly. Both compiler phases and the summary
+	// computation are module-at-a-time and order-independent (§2, §4.3),
+	// so the output is identical at every setting.
+	Jobs int
+	// DisableCache bypasses the process-wide phase-1/summary cache. The
+	// cache is keyed on module source content, so hits are byte-for-byte
+	// equivalent to recompiling; disable it only to measure cold-compile
+	// costs.
+	DisableCache bool
 }
 
 // Level2 is the baseline: global optimization only, standard linkage.
@@ -145,56 +158,129 @@ func Phase1(src Source) (*ir.Module, error) {
 	return irm, nil
 }
 
-// Summaries produces the summary file contents for each module. Following
-// the prototype described in §6, the first phase optimizes scratch copies
-// before summarizing: reference and call frequencies come from a copy
-// without global promotion (counts must reflect raw accesses), while the
+// Summaries produces the summary file contents for each module, fanning
+// the independent per-module work across CPUs. Following the prototype
+// described in §6, the first phase optimizes scratch copies before
+// summarizing: reference and call frequencies come from a copy without
+// global promotion (counts must reflect raw accesses), while the
 // callee-saves register estimate comes from a fully optimized copy, since
 // intraprocedural global promotion adds values that live across calls.
 func Summaries(mods []*ir.Module) []*summary.ModuleSummary {
-	var out []*summary.ModuleSummary
-	for _, m := range mods {
-		scratch := m.Clone()
-		for _, f := range scratch.Funcs {
-			opt.Level1(f)
-		}
-		ms := summary.SummarizeModule(scratch)
-
-		// Refine the register-need estimates on a level-2-optimized copy
-		// (module-local eligibility approximates what phase 2 will do).
-		local := make(map[string]bool)
-		for _, g := range m.Globals {
-			if g.Scalar && g.Defined && !g.AddrTaken && g.Size <= 4 {
-				local[g.Name] = true
-			}
-		}
-		full := m.Clone()
-		for _, f := range full.Funcs {
-			opt.Level2(f, local, nil)
-			for i := range ms.Procs {
-				if ms.Procs[i].Name == f.Name {
-					ms.Procs[i].CalleeSavesNeeded = summary.EstimateCalleeSaves(f)
-				}
-			}
-		}
-		out = append(out, ms)
-	}
+	out, _ := pipeline.Map(0, mods, func(_ int, m *ir.Module) (*summary.ModuleSummary, error) {
+		return summarizeModule(m), nil
+	})
 	return out
 }
 
-// Compile runs the full pipeline over the sources.
+// summarizeModule computes one module's summary record (see Summaries).
+// It never mutates m: all optimization runs on scratch clones.
+func summarizeModule(m *ir.Module) *summary.ModuleSummary {
+	scratch := m.Clone()
+	for _, f := range scratch.Funcs {
+		opt.Level1(f)
+	}
+	ms := summary.SummarizeModule(scratch)
+	byName := make(map[string]*summary.ProcRecord, len(ms.Procs))
+	for i := range ms.Procs {
+		byName[ms.Procs[i].Name] = &ms.Procs[i]
+	}
+
+	// Refine the register-need estimates on a level-2-optimized copy
+	// (module-local eligibility approximates what phase 2 will do).
+	local := make(map[string]bool)
+	for _, g := range m.Globals {
+		if g.Scalar && g.Defined && !g.AddrTaken && g.Size <= 4 {
+			local[g.Name] = true
+		}
+	}
+	full := m.Clone()
+	for _, f := range full.Funcs {
+		opt.Level2(f, local, nil)
+		if rec := byName[f.Name]; rec != nil {
+			rec.CalleeSavesNeeded = summary.EstimateCalleeSaves(f)
+		}
+	}
+	return ms
+}
+
+// phase1Fingerprint versions the cached phase-1 artifacts. It must change
+// whenever the parser, semantic analysis, IR generation, optimizer, or
+// summary computation change meaning; no Config field reaches phase 1
+// today, so the configuration contributes nothing beyond this constant.
+const phase1Fingerprint = "ipra/phase1+summary/v1"
+
+// phase1Cache is the process-wide content-addressed cache. The benchmark
+// harness compiles every program once per configuration (L2 plus the six
+// Table 4 columns, and twice more for the profile-guided ones); all of
+// those runs share identical phase-1 output, which the cache serves as
+// private decoded copies.
+var phase1Cache = cache.New(0)
+
+// CacheStats mirrors the phase-1 cache traffic counters.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// Phase1CacheStats returns a snapshot of the process-wide cache counters.
+func Phase1CacheStats() CacheStats {
+	s := phase1Cache.Stats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+}
+
+// ResetPhase1Cache empties the process-wide cache (tests, cold-compile
+// measurements).
+func ResetPhase1Cache() { phase1Cache.Reset() }
+
+// phase1Module produces one module's phase-1 output and summary, serving
+// both from the cache when the source content has been compiled before.
+func phase1Module(src Source, cfg Config) (*ir.Module, *summary.ModuleSummary, error) {
+	var key cache.Key
+	if !cfg.DisableCache {
+		key = cache.SourceKey(src.Name, src.Text, phase1Fingerprint)
+		if m, ms, ok := phase1Cache.Get(key); ok {
+			return m, ms, nil
+		}
+	}
+	m, err := Phase1(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := summarizeModule(m)
+	if !cfg.DisableCache {
+		if err := phase1Cache.Put(key, m, ms); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, ms, nil
+}
+
+// Compile runs the full pipeline over the sources. The first phase, the
+// summary computation, and the second phase all fan out across cfg.Jobs
+// workers; results land in position-indexed slices, so the output is
+// byte-identical to a sequential (Jobs: 1) run.
 func Compile(sources []Source, cfg Config) (*Program, error) {
 	p := &Program{Config: cfg}
 
-	// ---- Compiler first phase, module at a time.
-	for _, src := range sources {
-		m, err := Phase1(src)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", src.Name, err)
-		}
-		p.Modules = append(p.Modules, m)
+	// ---- Compiler first phase + summaries, modules in parallel.
+	type phase1Out struct {
+		m  *ir.Module
+		ms *summary.ModuleSummary
 	}
-	p.Summaries = Summaries(p.Modules)
+	front, err := pipeline.Map(cfg.Jobs, sources, func(_ int, src Source) (phase1Out, error) {
+		m, ms, err := phase1Module(src, cfg)
+		if err != nil {
+			return phase1Out{}, fmt.Errorf("%s: %w", src.Name, err)
+		}
+		return phase1Out{m: m, ms: ms}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range front {
+		p.Modules = append(p.Modules, f.m)
+		p.Summaries = append(p.Summaries, f.ms)
+	}
 
 	// ---- Program analyzer.
 	if cfg.UseAnalyzer {
@@ -211,12 +297,13 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 		p.DB.EligibleGlobals = eligibleFromSummaries(p.Summaries)
 	}
 
-	// ---- Compiler second phase, module at a time (order-independent).
+	// ---- Compiler second phase, modules in parallel (order-independent;
+	// the program database is shared read-only).
 	eligible := make(map[string]bool, len(p.DB.EligibleGlobals))
 	for _, g := range p.DB.EligibleGlobals {
 		eligible[g] = true
 	}
-	for _, m := range p.Modules {
+	p.Objects, err = pipeline.Map(cfg.Jobs, p.Modules, func(_ int, m *ir.Module) (*parv.Object, error) {
 		work := m.Clone()
 		for _, f := range work.Funcs {
 			dir := p.DB.Lookup(f.Name)
@@ -234,7 +321,10 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", m.Name, err)
 		}
-		p.Objects = append(p.Objects, obj)
+		return obj, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// ---- Link.

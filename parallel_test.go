@@ -1,0 +1,187 @@
+package ipra
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"ipra/internal/benchprogs"
+	"ipra/internal/parv"
+	"ipra/internal/pipeline"
+)
+
+// exeBytes canonically serializes the deterministic parts of an
+// executable (everything except the name→index maps, whose gob encoding
+// order is randomized by Go's map iteration).
+func exeBytes(t testing.TB, exe *parv.Executable) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	view := struct {
+		Code     []parv.Instr
+		Funcs    []parv.FuncInfo
+		Data     []byte
+		DataSize int32
+		Entry    int
+	}{exe.Code, exe.Funcs, exe.Data, exe.DataSize, exe.Entry}
+	if err := gob.NewEncoder(&buf).Encode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// determinismConfigs is the determinism matrix: the baseline plus Table 4 A–F.
+func determinismConfigs() []Config {
+	return append([]Config{Level2()}, Configs()...)
+}
+
+// TestParallelCompileDeterminism checks the tentpole guarantee: a
+// parallel, cache-served Compile produces byte-identical executables and
+// identical analyzer reports to a sequential, cache-bypassing one, for
+// the baseline and every Table 4 configuration.
+func TestParallelCompileDeterminism(t *testing.T) {
+	ResetPhase1Cache()
+	for _, b := range []string{"dhrystone", "crtool"} {
+		bm, err := benchprogs.ByName(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources := benchSources(t, bm)
+		for _, cfg := range determinismConfigs() {
+			seqCfg := cfg
+			seqCfg.Jobs = 1
+			seqCfg.DisableCache = true
+			parCfg := cfg
+			parCfg.Jobs = 8
+
+			seq, err := Compile(sources, seqCfg)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", b, cfg.Name, err)
+			}
+			// Twice in parallel: the first run fills the cache, the
+			// second is served from it; both must match the sequential
+			// output exactly.
+			for _, label := range []string{"parallel-cold", "parallel-cached"} {
+				par, err := Compile(sources, parCfg)
+				if err != nil {
+					t.Fatalf("%s/%s %s: %v", b, cfg.Name, label, err)
+				}
+				if !bytes.Equal(exeBytes(t, seq.Exe), exeBytes(t, par.Exe)) {
+					t.Errorf("%s/%s: %s executable differs from sequential", b, cfg.Name, label)
+				}
+				if !reflect.DeepEqual(seq.Exe, par.Exe) {
+					t.Errorf("%s/%s: %s executable struct differs from sequential", b, cfg.Name, label)
+				}
+				if (seq.Analysis == nil) != (par.Analysis == nil) {
+					t.Fatalf("%s/%s: %s analysis presence differs", b, cfg.Name, label)
+				}
+				if seq.Analysis != nil && seq.Analysis.Report() != par.Analysis.Report() {
+					t.Errorf("%s/%s: %s analyzer report differs:\nseq:\n%spar:\n%s",
+						b, cfg.Name, label, seq.Analysis.Report(), par.Analysis.Report())
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCompileProfiledDeterminism covers the profile-guided path
+// (compile, train on the VM, re-analyze, re-compile) the same way.
+func TestParallelCompileProfiledDeterminism(t *testing.T) {
+	ResetPhase1Cache()
+	bm, err := benchprogs.ByName("dhrystone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := benchSources(t, bm)
+
+	seqCfg := ConfigF()
+	seqCfg.Jobs = 1
+	seqCfg.DisableCache = true
+	seq, _, err := CompileProfiled(sources, seqCfg, bm.MaxInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := ConfigF()
+	parCfg.Jobs = 8
+	par, _, err := CompileProfiled(sources, parCfg, bm.MaxInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(exeBytes(t, seq.Exe), exeBytes(t, par.Exe)) {
+		t.Error("profiled executable differs between sequential and parallel compilation")
+	}
+	if seq.Analysis.Report() != par.Analysis.Report() {
+		t.Error("profiled analyzer report differs between sequential and parallel compilation")
+	}
+}
+
+// TestParallelCompileRace saturates the worker pool: every benchmark of
+// the suite compiles concurrently, each itself fanning modules across
+// workers, with the shared cache in play. Run under -race this checks
+// the phase-1/phase-2 concurrency and the cache's locking.
+func TestParallelCompileRace(t *testing.T) {
+	ResetPhase1Cache()
+	suite := benchprogs.All()
+	err := pipeline.ForEach(4, len(suite), func(i int) error {
+		sources := benchSources(t, suite[i])
+		cfg := ConfigC()
+		cfg.Jobs = 8
+		_, err := Compile(sources, cfg)
+		if err != nil {
+			return err
+		}
+		// Second compile of the same program: exercises concurrent
+		// cache hits while sibling benchmarks still fill theirs.
+		cfg2 := Level2()
+		cfg2.Jobs = 8
+		_, err = Compile(sources, cfg2)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhase1CacheReuse checks the cache accounting: the first compile of
+// a program misses once per module, every recompile (any configuration)
+// hits, and cached compiles match uncached ones exactly.
+func TestPhase1CacheReuse(t *testing.T) {
+	ResetPhase1Cache()
+	bm, err := benchprogs.ByName("fgrep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := benchSources(t, bm)
+
+	if _, err := Compile(sources, Level2()); err != nil {
+		t.Fatal(err)
+	}
+	s := Phase1CacheStats()
+	if s.Misses != uint64(len(sources)) || s.Hits != 0 {
+		t.Fatalf("cold compile: stats = %+v, want %d misses, 0 hits", s, len(sources))
+	}
+
+	cached, err := Compile(sources, ConfigC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = Phase1CacheStats()
+	if s.Hits != uint64(len(sources)) {
+		t.Fatalf("warm compile: stats = %+v, want %d hits", s, len(sources))
+	}
+
+	cold := ConfigC()
+	cold.DisableCache = true
+	uncached, err := Compile(sources, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exeBytes(t, cached.Exe), exeBytes(t, uncached.Exe)) {
+		t.Error("cache-served compile differs from cold compile")
+	}
+	if s := Phase1CacheStats(); s.Entries != len(sources) {
+		t.Errorf("entries = %d, want %d", s.Entries, len(sources))
+	}
+}
