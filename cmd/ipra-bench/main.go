@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"ipra"
 	"ipra/internal/bench"
 	"ipra/internal/census"
 )
@@ -24,8 +25,16 @@ func main() {
 		webstats = flag.Bool("webstats", false, "print the §6.2 web census on a generated large program")
 		only     = flag.String("bench", "", "run a single benchmark")
 		jobs     = flag.Int("j", 0, "parallel jobs for the sweep and compiler (0 = one per CPU, 1 = sequential)")
+		verbose  = flag.Bool("v", false, "print phase-1 cache statistics after the sweep")
 	)
 	flag.Parse()
+	if *verbose {
+		defer func() {
+			s := ipra.Phase1CacheStats()
+			fmt.Fprintf(os.Stderr, "ipra-bench: phase-1 cache: %d hits, %d misses, %d evictions, %d entries\n",
+				s.Hits, s.Misses, s.Evictions, s.Entries)
+		}()
+	}
 
 	if *webstats {
 		if err := census.Print(os.Stdout); err != nil {

@@ -9,14 +9,19 @@
 //	                          database's directives
 //	mcc -link out.exe file.obj ...
 //	                          link objects into an executable image
+//	mcc -incremental -build-dir dir file.mc ...
+//	                          full build (both phases, analyzer, link)
+//	                          against a persistent build directory,
+//	                          recompiling only what changed
 //
 // Run the program analyzer (ipra-analyze) between the phases; without a
-// program database, phase 2 compiles at plain level-2 optimization.
+// program database, phase 2 compiles at plain level-2 optimization. The
+// incremental mode runs the analyzer itself (-config picks the Table 4
+// configuration) and guarantees output byte-identical to a clean build;
+// -explain prints why each module was or wasn't rebuilt.
 package main
 
 import (
-	"bytes"
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"os"
@@ -35,12 +40,19 @@ import (
 
 func main() {
 	var (
-		phase1  = flag.Bool("phase1", false, "run the compiler first phase on MiniC sources")
-		phase2  = flag.Bool("phase2", false, "run the compiler second phase on intermediate files")
-		link    = flag.String("link", "", "link object files into the named executable image")
-		pdbPath = flag.String("pdb", "", "program database for phase 2 (from ipra-analyze)")
-		outDir  = flag.String("o", ".", "output directory")
-		jobs    = flag.Int("j", 0, "compile modules in parallel (0 = one job per CPU, 1 = sequential)")
+		phase1      = flag.Bool("phase1", false, "run the compiler first phase on MiniC sources")
+		phase2      = flag.Bool("phase2", false, "run the compiler second phase on intermediate files")
+		link        = flag.String("link", "", "link object files into the named executable image")
+		incremental = flag.Bool("incremental", false, "full minimal-rebuild compile of MiniC sources against -build-dir")
+		pdbPath     = flag.String("pdb", "", "program database for phase 2 (from ipra-analyze)")
+		outDir      = flag.String("o", ".", "output directory")
+		buildDir    = flag.String("build-dir", ".mcc-build", "incremental build-state directory")
+		exeOut      = flag.String("exe", "", "incremental executable output path (default <build-dir>/program.exe)")
+		configName  = flag.String("config", "C", "incremental configuration: L2 or Table 4 column A-F")
+		trainInstrs = flag.Uint64("train-instrs", 100_000_000, "instruction budget for the training run of profiled configurations (B, F)")
+		explain     = flag.Bool("explain", false, "print why each module was or wasn't rebuilt (incremental mode)")
+		jobs        = flag.Int("j", 0, "compile modules in parallel (0 = one job per CPU, 1 = sequential)")
+		verbose     = flag.Bool("v", false, "print phase-1 cache statistics")
 	)
 	flag.Parse()
 
@@ -52,9 +64,16 @@ func main() {
 		err = runPhase2(flag.Args(), *pdbPath, *outDir, *jobs)
 	case *link != "":
 		err = runLink(flag.Args(), *link)
+	case *incremental:
+		err = runIncremental(flag.Args(), *buildDir, *exeOut, *configName, *trainInstrs, *jobs, *explain)
 	default:
-		fmt.Fprintln(os.Stderr, "mcc: specify -phase1, -phase2, or -link (see -help)")
+		fmt.Fprintln(os.Stderr, "mcc: specify -phase1, -phase2, -link, or -incremental (see -help)")
 		os.Exit(2)
+	}
+	if *verbose {
+		s := ipra.Phase1CacheStats()
+		fmt.Fprintf(os.Stderr, "mcc: phase-1 cache: %d hits, %d misses, %d evictions, %d entries\n",
+			s.Hits, s.Misses, s.Evictions, s.Entries)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
@@ -141,7 +160,7 @@ func runPhase2(files []string, pdbPath, outDir string, jobs int) error {
 			return "", err
 		}
 		out := filepath.Join(outDir, stem(f)+".obj")
-		if err := writeObject(out, obj); err != nil {
+		if err := parv.WriteObjectFile(out, obj); err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("mcc: %s -> %s", f, out), nil
@@ -158,7 +177,7 @@ func runPhase2(files []string, pdbPath, outDir string, jobs int) error {
 func runLink(files []string, out string) error {
 	var objs []*parv.Object
 	for _, f := range files {
-		o, err := readObject(f)
+		o, err := parv.ReadObjectFile(f)
 		if err != nil {
 			return err
 		}
@@ -168,37 +187,70 @@ func runLink(files []string, out string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeExecutable(out, exe); err != nil {
+	if err := parv.WriteExecutableFile(out, exe); err != nil {
 		return err
 	}
 	fmt.Printf("mcc: linked %d modules -> %s (%d instructions)\n", len(objs), out, len(exe.Code))
 	return nil
 }
 
-func writeObject(path string, o *parv.Object) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
-		return err
+// runIncremental is the minimal-rebuild driver: both compiler phases, the
+// program analyzer, and the link in one command, backed by the persistent
+// build directory. Profiled configurations (B, F) run their training pass
+// against a "train" subdirectory, so repeat builds skip it too.
+func runIncremental(files []string, buildDir, exeOut, configName string, trainInstrs uint64, jobs int, explain bool) error {
+	if len(files) == 0 {
+		return fmt.Errorf("incremental: no source files")
 	}
-	return os.WriteFile(path, buf.Bytes(), 0o644)
-}
-
-func readObject(path string) (*parv.Object, error) {
-	data, err := os.ReadFile(path)
+	cfg, err := configByName(configName)
 	if err != nil {
-		return nil, err
-	}
-	var o parv.Object
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&o); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &o, nil
-}
-
-func writeExecutable(path string, exe *parv.Executable) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(exe); err != nil {
 		return err
 	}
-	return os.WriteFile(path, buf.Bytes(), 0o644)
+	cfg.Jobs = jobs
+
+	sources := make([]ipra.Source, len(files))
+	for i, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		sources[i] = ipra.Source{Name: filepath.Base(f), Text: text}
+	}
+
+	opts := ipra.IncrementalOptions{BuildDir: buildDir}
+	if explain {
+		opts.Explain = os.Stderr
+	}
+	var p *ipra.Program
+	if cfg.WantProfile {
+		p, _, _, err = ipra.CompileProfiledIncremental(sources, cfg, trainInstrs, opts)
+	} else {
+		p, _, err = ipra.CompileIncremental(sources, cfg, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	if exeOut == "" {
+		exeOut = filepath.Join(buildDir, "program.exe")
+	}
+	if err := parv.WriteExecutableFile(exeOut, p.Exe); err != nil {
+		return err
+	}
+	fmt.Printf("mcc: %d modules -> %s (%d instructions, config %s)\n",
+		len(sources), exeOut, len(p.Exe.Code), cfg.Name)
+	return nil
+}
+
+// configByName maps the CLI names onto the library's configuration sweep.
+func configByName(name string) (ipra.Config, error) {
+	if strings.EqualFold(name, "L2") {
+		return ipra.Level2(), nil
+	}
+	for _, c := range ipra.Configs() {
+		if strings.EqualFold(c.Name, name) {
+			return c, nil
+		}
+	}
+	return ipra.Config{}, fmt.Errorf("unknown configuration %q (want L2 or A-F)", name)
 }

@@ -8,8 +8,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,21 +30,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	data, err := os.ReadFile(flag.Arg(0))
+	exe, err := parv.ReadExecutableFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	var exe parv.Executable
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&exe); err != nil {
-		fatal(fmt.Errorf("%s: %w", flag.Arg(0), err))
-	}
 
 	if *disasm {
-		parv.Disassemble(os.Stdout, &exe)
+		parv.Disassemble(os.Stdout, exe)
 		return
 	}
 
-	vm := parv.NewVM(&exe)
+	vm := parv.NewVM(exe)
 	vm.ProfileEdges = *profileOut != ""
 	exit, err := vm.Run(*maxInstrs)
 	if err != nil {

@@ -16,6 +16,11 @@
 // another. Decoding is the same work Module.Clone already does once per
 // compile, so a hit still saves the parse, semantic analysis, IR
 // generation, and the two optimized scratch clones behind a summary.
+//
+// The same gob payload doubles as the on-disk phase-1 record of the
+// incremental build directory (WriteEntryFile / ReadEntryFile), so the
+// in-memory cache and the persistent store never disagree about what a
+// phase-1 artifact is.
 package cache
 
 import (
@@ -24,6 +29,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"os"
 	"sync"
 
 	"ipra/internal/ir"
@@ -32,6 +38,10 @@ import (
 
 // Key identifies one module's phase-1 artifacts by content.
 type Key [sha256.Size]byte
+
+// Hex returns the key in lowercase hexadecimal, the form the incremental
+// build manifest stores.
+func (k Key) Hex() string { return fmt.Sprintf("%x", k[:]) }
 
 // SourceKey hashes a module's name and source text together with a
 // fingerprint of everything else the cached artifacts depend on (the
@@ -53,16 +63,61 @@ func SourceKey(name string, text []byte, fingerprint string) Key {
 	return k
 }
 
-// entry is one cached module: the gob bytes plus an LRU clock reading.
+// entry is one cached module: the gob bytes plus its position in the
+// intrusive LRU list (front = most recently used, back = eviction victim).
 type entry struct {
-	data    []byte
-	lastUse uint64
+	key        Key
+	data       []byte
+	prev, next *entry
 }
 
 // payload is what gets encoded into an entry.
 type payload struct {
 	Module  *ir.Module
 	Summary *summary.ModuleSummary
+}
+
+// EncodeEntry serializes a phase-1 module and its summary into the cache's
+// gob payload format. The bytes are self-contained: DecodeEntry (or a hit
+// on an in-memory entry) reconstructs private copies.
+func EncodeEntry(m *ir.Module, ms *summary.ModuleSummary) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payload{Module: m, Summary: ms}); err != nil {
+		return nil, fmt.Errorf("cache: encode %s: %w", m.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEntry is the inverse of EncodeEntry.
+func DecodeEntry(data []byte) (*ir.Module, *summary.ModuleSummary, error) {
+	var p payload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, nil, fmt.Errorf("cache: decode entry: %w", err)
+	}
+	return p.Module, p.Summary, nil
+}
+
+// WriteEntryFile persists a phase-1 entry to the given path (the
+// incremental build directory's per-module phase-1 record).
+func WriteEntryFile(path string, m *ir.Module, ms *summary.ModuleSummary) error {
+	data, err := EncodeEntry(m, ms)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadEntryFile loads a phase-1 entry persisted by WriteEntryFile.
+func ReadEntryFile(path string) (*ir.Module, *summary.ModuleSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, ms, err := DecodeEntry(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cache: %s: %w", path, err)
+	}
+	return m, ms, nil
 }
 
 // Stats counts cache traffic.
@@ -75,9 +130,13 @@ type Stats struct {
 type Cache struct {
 	mu      sync.Mutex
 	max     int
-	clock   uint64
 	entries map[Key]*entry
-	stats   Stats
+	// head is the most recently used entry, tail the least; both nil when
+	// the cache is empty. Maintaining the list makes eviction O(1): Put
+	// pops the tail instead of rescanning every entry for the oldest
+	// clock reading.
+	head, tail *entry
+	stats      Stats
 }
 
 // DefaultMaxEntries bounds the process-wide cache: comfortably above the
@@ -95,6 +154,33 @@ func New(max int) *Cache {
 	return &Cache{max: max, entries: make(map[Key]*entry)}
 }
 
+// unlink removes e from the LRU list. Callers must hold c.mu.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Callers must hold c.mu.
+func (c *Cache) pushFront(e *entry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
 // Get returns private copies of the cached module and summary, or ok =
 // false on a miss. The returned values share no memory with the cache or
 // with any other caller.
@@ -106,47 +192,52 @@ func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
 		c.mu.Unlock()
 		return nil, nil, false
 	}
-	c.clock++
-	e.lastUse = c.clock
+	c.unlink(e)
+	c.pushFront(e)
 	c.stats.Hits++
 	data := e.data
 	c.mu.Unlock()
 
 	// Decode outside the lock: it is the expensive part of a hit.
-	var p payload
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+	m, ms, err := DecodeEntry(data)
+	if err != nil {
 		// A decode failure means the entry is corrupt; drop it and report
 		// a miss so the caller recompiles.
 		c.mu.Lock()
-		delete(c.entries, k)
+		if cur := c.entries[k]; cur != nil {
+			c.unlink(cur)
+			delete(c.entries, k)
+		}
 		c.stats.Entries = len(c.entries)
 		c.mu.Unlock()
 		return nil, nil, false
 	}
-	return p.Module, p.Summary, true
+	return m, ms, true
 }
 
 // Put stores the module and summary under k. The values are encoded
 // immediately, so the caller remains free to mutate its copies afterward.
 func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&payload{Module: m, Summary: ms}); err != nil {
-		return fmt.Errorf("cache: encode %s: %w", m.Name, err)
+	data, err := EncodeEntry(m, ms)
+	if err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.clock++
-	c.entries[k] = &entry{data: buf.Bytes(), lastUse: c.clock}
+	if e := c.entries[k]; e != nil {
+		e.data = data
+		c.unlink(e)
+		c.pushFront(e)
+		c.stats.Entries = len(c.entries)
+		return nil
+	}
+	e := &entry{key: k, data: data}
+	c.entries[k] = e
+	c.pushFront(e)
 	for len(c.entries) > c.max {
-		var oldest Key
-		var oldestUse uint64
-		first := true
-		for key, e := range c.entries {
-			if first || e.lastUse < oldestUse {
-				oldest, oldestUse, first = key, e.lastUse, false
-			}
-		}
-		delete(c.entries, oldest)
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
 		c.stats.Evictions++
 	}
 	c.stats.Entries = len(c.entries)
@@ -167,6 +258,6 @@ func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[Key]*entry)
+	c.head, c.tail = nil, nil
 	c.stats = Stats{}
-	c.clock = 0
 }

@@ -1,6 +1,9 @@
 package cache
 
 import (
+	"fmt"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"ipra/internal/ir"
@@ -113,5 +116,96 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if s := c.Stats(); s.Evictions != 1 {
 		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+// TestLRUOrderUnderChurn drives a larger cache through interleaved Puts,
+// re-Puts, and Gets and checks that eviction follows exact LRU order — the
+// invariant the intrusive list must preserve without the old full-scan.
+func TestLRUOrderUnderChurn(t *testing.T) {
+	const n = 8
+	c := New(n)
+	key := func(i int) Key { return SourceKey(fmt.Sprintf("m%d", i), nil, "") }
+	for i := 0; i < n; i++ {
+		if err := c.Put(key(i), testModule("m"), testSummary("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch half the entries (mix of Get and re-Put); the untouched half
+	// must then be evicted first, in their original insertion order.
+	for i := 0; i < n; i += 2 {
+		if i%4 == 0 {
+			c.Get(key(i))
+		} else if err := c.Put(key(i), testModule("m"), testSummary("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round, i := 0, 1; i < n; round, i = round+1, i+2 {
+		if err := c.Put(key(n+round), testModule("m"), testSummary("m")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := c.Get(key(i)); ok {
+			t.Fatalf("entry %d survived; expected it evicted on round %d", i, round)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if _, _, ok := c.Get(key(i)); !ok {
+			t.Errorf("recently used entry %d was evicted", i)
+		}
+	}
+	if s := c.Stats(); s.Entries != n {
+		t.Errorf("entries = %d, want %d", s.Entries, n)
+	}
+}
+
+func TestEntryFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.p1")
+	m, ms := testModule("m.mc"), testSummary("m.mc")
+	if err := WriteEntryFile(path, m, ms); err != nil {
+		t.Fatal(err)
+	}
+	gm, gms, err := ReadEntryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gm, m) || !reflect.DeepEqual(gms, ms) {
+		t.Error("entry file roundtrip lost data")
+	}
+	// Decoded copies must be private.
+	gm.Globals[0].Name = "corrupted"
+	gm2, _, err := ReadEntryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm2.Globals[0].Name != "g" {
+		t.Error("reread entry shares memory with a previous read")
+	}
+	if _, _, err := ReadEntryFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing entry file must error")
+	}
+}
+
+// BenchmarkPutFullCache measures Put into a cache at capacity, where every
+// insert evicts. The pre-LRU-list implementation rescanned all entries on
+// each eviction (O(n) per Put); the intrusive list pops the tail in O(1),
+// which this benchmark demonstrates at a size where the scan dominated.
+func BenchmarkPutFullCache(b *testing.B) {
+	const size = 4096
+	c := New(size)
+	m, ms := testModule("m"), testSummary("m")
+	keys := make([]Key, size+b.N)
+	for i := range keys {
+		keys[i] = SourceKey(fmt.Sprintf("m%d", i), nil, "")
+	}
+	for i := 0; i < size; i++ {
+		if err := c.Put(keys[i], m, ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(keys[size+i], m, ms); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,341 @@
+// Package incremental is the persistent incremental recompilation engine
+// for the two-pass organization (§2, §4.3 of the paper).
+//
+// The paper's scheme pays for cross-module allocation with recompilation:
+// whenever the program database changes, the compiler second phase must
+// re-run. But phase 2 is module-at-a-time and order-independent, and each
+// module consumes only a small slice of the database — the directives of
+// its own procedures and of its direct callees, plus the program-wide
+// eligibility list. This package makes the edit-recompile loop
+// proportional to what changed:
+//
+//	hash sources            → phase-1-recompile only changed modules
+//	re-run the analyzer     → always (it is whole-program and cheap)
+//	diff the database       → against stored per-procedure directive hashes
+//	phase-2-recompile       → only modules whose sources or consumed
+//	                          directives changed
+//	relink                  → from stored + fresh objects
+//
+// The load-bearing invariant: an incremental rebuild produces the same
+// modules, summaries, database, objects, and executable as a clean build
+// of the same sources — reuse is pure memoization, never approximation.
+//
+// The engine is toolchain-agnostic: callers inject the compiler phases as
+// a Toolchain of hooks (the ipra package wires its phase helpers in via
+// CompileIncremental), which also keeps this package free of an import
+// cycle with the driver above it.
+package incremental
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ipra/internal/cache"
+	"ipra/internal/ir"
+	"ipra/internal/parv"
+	"ipra/internal/pdb"
+	"ipra/internal/pipeline"
+	"ipra/internal/summary"
+)
+
+// Source is one module's name and source text.
+type Source struct {
+	Name string
+	Text []byte
+}
+
+// Toolchain injects the compiler phases the driver orchestrates. Every
+// hook must be deterministic in its arguments; the driver's caching is
+// sound exactly because phase 1 is a pure function of the source text and
+// phase 2 a pure function of the phase-1 module plus the directives it
+// consults.
+type Toolchain struct {
+	// Fingerprint identifies the toolchain build (phase implementations,
+	// Go toolchain). Stored state with a different fingerprint is
+	// discarded wholesale.
+	Fingerprint string
+	// Phase1 parses, checks, and lowers one module, returning the IR and
+	// its summary record.
+	Phase1 func(name string, text []byte) (*ir.Module, *summary.ModuleSummary, error)
+	// Analyze runs the program analyzer over the merged summary set.
+	Analyze func(sums []*summary.ModuleSummary) (*pdb.Database, error)
+	// Phase2 returns the per-module second-phase compiler for a database
+	// (the closure lets the caller precompute database-wide state, e.g.
+	// the eligibility set, once per build).
+	Phase2 func(db *pdb.Database) func(m *ir.Module) (*parv.Object, error)
+	// Link binds the objects, in module order.
+	Link func(objs []*parv.Object) (*parv.Executable, error)
+}
+
+// Options control one Build.
+type Options struct {
+	// Jobs bounds the phase fan-out (pipeline.Workers semantics).
+	Jobs int
+	// Explain, when non-nil, receives one line per module explaining why
+	// it was or wasn't rebuilt, plus a summary line.
+	Explain io.Writer
+}
+
+// Action records what Build did for one module and why.
+type Action struct {
+	Module        string
+	Phase1Rebuilt bool
+	Phase1Reason  string // why phase 1 re-ran; "" when reused
+	Phase2Rebuilt bool
+	Phase2Reason  string // why phase 2 re-ran; "" when reused
+}
+
+// Outcome is the result of one Build: the full artifact set (identical to
+// a clean build's) plus the per-module rebuild record.
+type Outcome struct {
+	Modules   []*ir.Module
+	Summaries []*summary.ModuleSummary
+	DB        *pdb.Database
+	Objects   []*parv.Object
+	Exe       *parv.Executable
+
+	Actions                        []Action
+	Phase1Rebuilds, Phase2Rebuilds int
+	// StateReset is true when an existing build directory's state was
+	// rejected (format/toolchain fingerprint mismatch or corruption).
+	StateReset bool
+}
+
+// Build runs a minimal rebuild of sources against the build directory,
+// updating the stored state on success. On error the store is left
+// untouched, so a failed build never poisons later ones.
+func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, error) {
+	seen := make(map[string]bool, len(sources))
+	for _, src := range sources {
+		if seen[src.Name] {
+			return nil, fmt.Errorf("incremental: duplicate module name %q", src.Name)
+		}
+		seen[src.Name] = true
+	}
+
+	st, err := openStore(dir, tc.Fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Modules:    make([]*ir.Module, len(sources)),
+		Summaries:  make([]*summary.ModuleSummary, len(sources)),
+		Objects:    make([]*parv.Object, len(sources)),
+		Actions:    make([]Action, len(sources)),
+		StateReset: st.reset,
+	}
+
+	// ---- Phase 1: hash every source, recompile only changed modules.
+	hashes := make([]string, len(sources))
+	err = pipeline.ForEach(opts.Jobs, len(sources), func(i int) error {
+		src := sources[i]
+		out.Actions[i].Module = src.Name
+		hashes[i] = cache.SourceKey(src.Name, src.Text, tc.Fingerprint).Hex()
+
+		reason := ""
+		prev := st.prev.Modules[src.Name]
+		switch {
+		case prev == nil:
+			reason = st.resetReason
+			if reason == "" {
+				reason = "new module"
+			}
+		case prev.SourceHash != hashes[i]:
+			reason = "source changed"
+		default:
+			m, ms, err := st.loadPhase1(prev)
+			if err == nil {
+				out.Modules[i], out.Summaries[i] = m, ms
+				return nil
+			}
+			reason = "stored phase-1 record unreadable"
+		}
+		m, ms, err := tc.Phase1(src.Name, src.Text)
+		if err != nil {
+			return fmt.Errorf("%s: %w", src.Name, err)
+		}
+		out.Modules[i], out.Summaries[i] = m, ms
+		out.Actions[i].Phase1Rebuilt = true
+		out.Actions[i].Phase1Reason = reason
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Program analyzer: always re-run on the merged summary set (it
+	// needs the whole program, and costs far less than a module compile).
+	db, err := tc.Analyze(out.Summaries)
+	if err != nil {
+		return nil, err
+	}
+	out.DB = db
+
+	// ---- Directive diff: decide phase 2 per module.
+	eligibleHash := db.EligibleHash()
+	directives := make([]map[string]string, len(sources))
+	for i, m := range out.Modules {
+		consulted := consultedProcs(m)
+		hashesOf := make(map[string]string, len(consulted))
+		for _, proc := range consulted {
+			hashesOf[proc] = db.Lookup(proc).DirectiveHash()
+		}
+		directives[i] = hashesOf
+
+		a := &out.Actions[i]
+		prev := st.prev.Modules[m.Name]
+		switch {
+		case a.Phase1Rebuilt:
+			a.Phase2Rebuilt, a.Phase2Reason = true, a.Phase1Reason
+		case prev.EligibleHash != eligibleHash:
+			a.Phase2Rebuilt, a.Phase2Reason = true, "eligible globals changed"
+		default:
+			if changed := diffDirectives(prev.Directives, hashesOf); len(changed) > 0 {
+				a.Phase2Rebuilt, a.Phase2Reason = true, "directives changed: "+strings.Join(changed, ", ")
+			}
+		}
+	}
+
+	// ---- Phase 2: recompile invalidated modules, reload the rest.
+	compile := tc.Phase2(db)
+	err = pipeline.ForEach(opts.Jobs, len(sources), func(i int) error {
+		a := &out.Actions[i]
+		if !a.Phase2Rebuilt {
+			obj, err := st.loadObject(st.prev.Modules[out.Modules[i].Name])
+			if err == nil {
+				out.Objects[i] = obj
+				return nil
+			}
+			a.Phase2Rebuilt, a.Phase2Reason = true, "stored object unreadable"
+		}
+		obj, err := compile(out.Modules[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", out.Modules[i].Name, err)
+		}
+		out.Objects[i] = obj
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Link, always: it is whole-program and reads every object.
+	exe, err := tc.Link(out.Objects)
+	if err != nil {
+		return nil, err
+	}
+	out.Exe = exe
+
+	// ---- Persist the new state: fresh artifacts for rebuilt modules,
+	// carried-over records for reused ones, then the manifest (atomically;
+	// unreferenced artifacts are pruned).
+	next := manifest{Modules: make(map[string]*moduleState, len(sources))}
+	for i, src := range sources {
+		a := out.Actions[i]
+		ms := &moduleState{
+			SourceHash:   hashes[i],
+			EligibleHash: eligibleHash,
+			Directives:   directives[i],
+		}
+		if a.Phase1Rebuilt {
+			if ms.Phase1File, err = st.writePhase1(src.Name, out.Modules[i], out.Summaries[i]); err != nil {
+				return nil, err
+			}
+		} else {
+			ms.Phase1File = st.prev.Modules[src.Name].Phase1File
+		}
+		if a.Phase2Rebuilt {
+			if ms.ObjectFile, err = st.writeObject(src.Name, out.Objects[i]); err != nil {
+				return nil, err
+			}
+		} else {
+			ms.ObjectFile = st.prev.Modules[src.Name].ObjectFile
+		}
+		next.Modules[src.Name] = ms
+	}
+	if err := st.save(next); err != nil {
+		return nil, err
+	}
+
+	for _, a := range out.Actions {
+		if a.Phase1Rebuilt {
+			out.Phase1Rebuilds++
+		}
+		if a.Phase2Rebuilt {
+			out.Phase2Rebuilds++
+		}
+	}
+	if opts.Explain != nil {
+		explain(opts.Explain, st, out)
+	}
+	return out, nil
+}
+
+// diffDirectives returns the sorted names of procedures whose directive
+// hashes differ between the stored and current maps (including procedures
+// present on only one side).
+func diffDirectives(prev, cur map[string]string) []string {
+	var changed []string
+	for name, h := range cur {
+		if prev[name] != h {
+			changed = append(changed, name)
+		}
+	}
+	for name := range prev {
+		if _, ok := cur[name]; !ok {
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	return changed
+}
+
+// consultedProcs lists every procedure whose database directives the
+// module's phase-2 compilation may read: the module's own functions (their
+// promotions and register sets) and its direct callees (their published
+// clobber sets, §7.6.2). The scan runs on the phase-1 IR, before
+// optimization; optimization only ever removes calls, so this is a sound
+// superset of what phase 2 actually consults.
+func consultedProcs(m *ir.Module) []string {
+	set := make(map[string]bool)
+	for _, f := range m.Funcs {
+		set[f.Name] = true
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if in := &b.Instrs[i]; in.Op == ir.Call && !in.IndirectCall {
+					set[in.Callee] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// explain writes the per-module rebuild record in module order, preceded
+// by a state-reset notice when stored state was discarded.
+func explain(w io.Writer, st *store, out *Outcome) {
+	if out.StateReset {
+		fmt.Fprintf(w, "incremental: discarding build state: %s\n", st.resetReason)
+	}
+	phase := func(rebuilt bool, reason string) string {
+		if !rebuilt {
+			return "reused"
+		}
+		return "recompiled (" + reason + ")"
+	}
+	for _, a := range out.Actions {
+		fmt.Fprintf(w, "incremental: %s: phase 1 %s; phase 2 %s\n",
+			a.Module,
+			phase(a.Phase1Rebuilt, a.Phase1Reason),
+			phase(a.Phase2Rebuilt, a.Phase2Reason))
+	}
+	fmt.Fprintf(w, "incremental: %d/%d phase-1 recompiles, %d/%d phase-2 recompiles\n",
+		out.Phase1Rebuilds, len(out.Actions), out.Phase2Rebuilds, len(out.Actions))
+}

@@ -1,0 +1,351 @@
+package incremental
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ipra/internal/ir"
+	"ipra/internal/parv"
+	"ipra/internal/pdb"
+	"ipra/internal/summary"
+)
+
+// fakeToolchain is a miniature deterministic toolchain over a toy source
+// format: each line of source text reads "funcname" or "funcname>callee".
+// It counts invocations so tests can assert exactly which phases re-ran,
+// and exposes a promotion knob so tests can change directives without
+// changing sources.
+type fakeToolchain struct {
+	phase1Calls, phase2Calls atomic.Int64
+	phase2Modules            []string // names compiled by phase 2 (mutex-free: Jobs=1 in tests)
+	promote                  map[string]uint8
+}
+
+func (ft *fakeToolchain) toolchain() Toolchain {
+	return Toolchain{
+		Fingerprint: "fake/v1",
+		Phase1: func(name string, text []byte) (*ir.Module, *summary.ModuleSummary, error) {
+			ft.phase1Calls.Add(1)
+			m := &ir.Module{Name: name}
+			ms := &summary.ModuleSummary{Module: name}
+			for _, line := range strings.Fields(string(text)) {
+				fn, callee, _ := strings.Cut(line, ">")
+				f := &ir.Func{Name: fn, Module: name, Blocks: []*ir.Block{{}}}
+				if callee != "" {
+					f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, ir.Instr{Op: ir.Call, Callee: callee})
+				}
+				m.Funcs = append(m.Funcs, f)
+				ms.Procs = append(ms.Procs, summary.ProcRecord{Name: fn, Module: name})
+			}
+			return m, ms, nil
+		},
+		Analyze: func(sums []*summary.ModuleSummary) (*pdb.Database, error) {
+			db := pdb.New()
+			for _, s := range sums {
+				for _, p := range s.Procs {
+					d := pdb.Standard(p.Name)
+					if r, ok := ft.promote[p.Name]; ok {
+						d.Caller = d.Caller.Remove(r)
+						d.Callee = d.Callee.Remove(r)
+						d.Promoted = []pdb.PromotedGlobal{{Name: "g", Reg: r}}
+					}
+					db.Procs[p.Name] = d
+				}
+			}
+			return db, nil
+		},
+		Phase2: func(db *pdb.Database) func(*ir.Module) (*parv.Object, error) {
+			return func(m *ir.Module) (*parv.Object, error) {
+				ft.phase2Calls.Add(1)
+				ft.phase2Modules = append(ft.phase2Modules, m.Name)
+				o := &parv.Object{Module: m.Name}
+				for _, f := range m.Funcs {
+					// The "code" depends on the function's own directives,
+					// like real phase 2 output does.
+					d := db.Lookup(f.Name)
+					var reg uint8
+					if len(d.Promoted) > 0 {
+						reg = d.Promoted[0].Reg
+					}
+					o.Funcs = append(o.Funcs, &parv.ObjFunc{
+						Name: f.Name,
+						Code: []parv.Instr{{Op: parv.LDI, Rd: reg}},
+					})
+				}
+				return o, nil
+			}
+		},
+		Link: func(objs []*parv.Object) (*parv.Executable, error) {
+			exe := &parv.Executable{FuncIdx: map[string]int{}, GlobalAddr: map[string]int32{}}
+			for _, o := range objs {
+				for _, f := range o.Funcs {
+					exe.FuncIdx[f.Name] = len(exe.Funcs)
+					exe.Funcs = append(exe.Funcs, parv.FuncInfo{Name: f.Name, Start: len(exe.Code), End: len(exe.Code) + len(f.Code)})
+					exe.Code = append(exe.Code, f.Code...)
+				}
+			}
+			return exe, nil
+		},
+	}
+}
+
+func mustBuild(t *testing.T, dir string, sources []Source, tc Toolchain, opts Options) *Outcome {
+	t.Helper()
+	out, err := Build(dir, sources, tc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func twoModules() []Source {
+	return []Source{
+		{Name: "main.mc", Text: []byte("main>helper main>leaf")},
+		{Name: "lib.mc", Text: []byte("helper>leaf leaf")},
+	}
+}
+
+func TestCleanThenNoOpRebuild(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	clean := mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+	if clean.Phase1Rebuilds != 2 || clean.Phase2Rebuilds != 2 {
+		t.Fatalf("clean build: rebuilds = %d/%d, want 2/2", clean.Phase1Rebuilds, clean.Phase2Rebuilds)
+	}
+	if clean.StateReset {
+		t.Error("first build in an empty directory is not a state reset")
+	}
+
+	var buf bytes.Buffer
+	noop := mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1, Explain: &buf})
+	if noop.Phase1Rebuilds != 0 || noop.Phase2Rebuilds != 0 {
+		t.Errorf("no-op rebuild: rebuilds = %d/%d, want 0/0\n%s", noop.Phase1Rebuilds, noop.Phase2Rebuilds, &buf)
+	}
+	if got := ft.phase1Calls.Load(); got != 2 {
+		t.Errorf("phase 1 ran %d times total, want 2", got)
+	}
+	if got := ft.phase2Calls.Load(); got != 2 {
+		t.Errorf("phase 2 ran %d times total, want 2", got)
+	}
+	// The reused artifact set must equal the clean build's.
+	if !reflect.DeepEqual(noop.Modules, clean.Modules) ||
+		!reflect.DeepEqual(noop.Summaries, clean.Summaries) ||
+		!reflect.DeepEqual(noop.Objects, clean.Objects) ||
+		!reflect.DeepEqual(noop.Exe, clean.Exe) {
+		t.Error("no-op rebuild artifacts differ from the clean build")
+	}
+	if noop.DB.Hash() != clean.DB.Hash() {
+		t.Error("no-op rebuild computed a different program database")
+	}
+	want := "incremental: main.mc: phase 1 reused; phase 2 reused\n" +
+		"incremental: lib.mc: phase 1 reused; phase 2 reused\n" +
+		"incremental: 0/2 phase-1 recompiles, 0/2 phase-2 recompiles\n"
+	if buf.String() != want {
+		t.Errorf("explain output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestSourceEditRebuildsOnlyEditedModule(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+
+	edited := twoModules()
+	edited[1].Text = []byte("helper>leaf leaf extra")
+	ft.phase2Modules = nil
+	var buf bytes.Buffer
+	out := mustBuild(t, dir, edited, ft.toolchain(), Options{Jobs: 1, Explain: &buf})
+	if out.Phase1Rebuilds != 1 || out.Phase2Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d/%d, want 1/1\n%s", out.Phase1Rebuilds, out.Phase2Rebuilds, &buf)
+	}
+	if !reflect.DeepEqual(ft.phase2Modules, []string{"lib.mc"}) {
+		t.Errorf("phase 2 compiled %v, want only lib.mc", ft.phase2Modules)
+	}
+	if !strings.Contains(buf.String(), "lib.mc: phase 1 recompiled (source changed); phase 2 recompiled (source changed)") {
+		t.Errorf("explain output missing edit rationale:\n%s", &buf)
+	}
+	if !strings.Contains(buf.String(), "main.mc: phase 1 reused; phase 2 reused") {
+		t.Errorf("explain output missing reuse line:\n%s", &buf)
+	}
+}
+
+func TestDirectiveChangeRecompilesConsumers(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+
+	// Change leaf's directives without touching any source. Both modules
+	// consult leaf (main calls it directly, lib defines it), so both must
+	// re-run phase 2 — but phase 1 must not run at all.
+	ft.promote = map[string]uint8{"leaf": 17}
+	ft.phase2Modules = nil
+	var buf bytes.Buffer
+	out := mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1, Explain: &buf})
+	if out.Phase1Rebuilds != 0 {
+		t.Errorf("phase-1 rebuilds = %d, want 0", out.Phase1Rebuilds)
+	}
+	if out.Phase2Rebuilds != 2 {
+		t.Errorf("phase-2 rebuilds = %d, want 2\n%s", out.Phase2Rebuilds, &buf)
+	}
+	if !strings.Contains(buf.String(), "phase 2 recompiled (directives changed: leaf)") {
+		t.Errorf("explain output missing directive rationale:\n%s", &buf)
+	}
+
+	// Now promote only main: lib.mc never consults main's directives, so
+	// only main.mc re-runs phase 2.
+	ft.promote = map[string]uint8{"leaf": 17, "main": 16}
+	ft.phase2Modules = nil
+	out = mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+	if out.Phase2Rebuilds != 1 || !reflect.DeepEqual(ft.phase2Modules, []string{"main.mc"}) {
+		t.Errorf("rebuilds = %d (%v), want only main.mc", out.Phase2Rebuilds, ft.phase2Modules)
+	}
+}
+
+func TestFingerprintMismatchDiscardsState(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+
+	tc := ft.toolchain()
+	tc.Fingerprint = "fake/v2"
+	var buf bytes.Buffer
+	out := mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1, Explain: &buf})
+	if !out.StateReset {
+		t.Error("fingerprint mismatch must be reported as a state reset")
+	}
+	if out.Phase1Rebuilds != 2 || out.Phase2Rebuilds != 2 {
+		t.Errorf("rebuilds = %d/%d, want full rebuild", out.Phase1Rebuilds, out.Phase2Rebuilds)
+	}
+	if !strings.Contains(buf.String(), "discarding build state: fingerprint mismatch") {
+		t.Errorf("explain output missing reset notice:\n%s", &buf)
+	}
+
+	// The new state must be valid: an immediate rebuild is a no-op.
+	out = mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1})
+	if out.Phase1Rebuilds != 0 || out.Phase2Rebuilds != 0 {
+		t.Errorf("post-reset rebuild not clean: %d/%d", out.Phase1Rebuilds, out.Phase2Rebuilds)
+	}
+}
+
+func TestCorruptManifestAndArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+
+	// Corrupt manifest: full rebuild, no error.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+	if !out.StateReset || out.Phase1Rebuilds != 2 {
+		t.Errorf("corrupt manifest: reset=%v rebuilds=%d, want full reset", out.StateReset, out.Phase1Rebuilds)
+	}
+
+	// Corrupt one object file: that module silently recompiles.
+	var m manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	objFile := m.Modules["lib.mc"].ObjectFile
+	if err := os.WriteFile(filepath.Join(dir, objFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft.phase2Modules = nil
+	var buf bytes.Buffer
+	out = mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1, Explain: &buf})
+	if out.Phase1Rebuilds != 0 || out.Phase2Rebuilds != 1 {
+		t.Errorf("corrupt object: rebuilds = %d/%d, want 0/1", out.Phase1Rebuilds, out.Phase2Rebuilds)
+	}
+	if !strings.Contains(buf.String(), "lib.mc: phase 1 reused; phase 2 recompiled (stored object unreadable)") {
+		t.Errorf("explain output:\n%s", &buf)
+	}
+
+	// A manifest pointing outside the build directory must not be followed.
+	m.Modules["lib.mc"].ObjectFile = "../escape.gob"
+	data, err = json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+	if out.Phase2Rebuilds != 1 {
+		t.Errorf("path-escaping manifest entry: rebuilds = %d, want 1 recompile", out.Phase2Rebuilds)
+	}
+}
+
+func TestModuleRemovalPrunesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+
+	// Drop lib.mc; its artifacts must be pruned from the directory.
+	// (main.mc still calls helper/leaf, which now resolve to standard
+	// directives — the fake analyzer only knows summarized procs.)
+	only := twoModules()[:1]
+	mustBuild(t, dir, only, ft.toolchain(), Options{Jobs: 1})
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "lib_mc") {
+			t.Errorf("stale artifact %s survived module removal", e.Name())
+		}
+	}
+
+	// Re-adding the module rebuilds it from source.
+	out := mustBuild(t, dir, twoModules(), ft.toolchain(), Options{Jobs: 1})
+	if out.Phase1Rebuilds != 1 {
+		t.Errorf("re-added module: phase-1 rebuilds = %d, want 1", out.Phase1Rebuilds)
+	}
+}
+
+func TestDuplicateModuleNamesRejected(t *testing.T) {
+	srcs := []Source{{Name: "a.mc"}, {Name: "a.mc"}}
+	ft := &fakeToolchain{}
+	if _, err := Build(t.TempDir(), srcs, ft.toolchain(), Options{Jobs: 1}); err == nil {
+		t.Error("duplicate module names must be rejected")
+	}
+}
+
+func TestConsultedProcs(t *testing.T) {
+	m := &ir.Module{
+		Name: "m.mc",
+		Funcs: []*ir.Func{
+			{Name: "f", Blocks: []*ir.Block{{Instrs: []ir.Instr{
+				{Op: ir.Call, Callee: "g"},
+				{Op: ir.Call, IndirectCall: true, Callee: ""},
+				{Op: ir.Call, Callee: "putint"},
+			}}}},
+			{Name: "h", Blocks: []*ir.Block{{}}},
+		},
+	}
+	got := consultedProcs(m)
+	want := []string{"f", "g", "h", "putint"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("consultedProcs = %v, want %v", got, want)
+	}
+}
+
+func TestDiffDirectives(t *testing.T) {
+	prev := map[string]string{"a": "1", "b": "2", "gone": "3"}
+	cur := map[string]string{"a": "1", "b": "9", "new": "4"}
+	if got := diffDirectives(prev, cur); !reflect.DeepEqual(got, []string{"b", "gone", "new"}) {
+		t.Errorf("diff = %v", got)
+	}
+	if got := diffDirectives(prev, prev); got != nil {
+		t.Errorf("self-diff = %v, want empty", got)
+	}
+}

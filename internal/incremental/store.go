@@ -1,0 +1,204 @@
+// The persistent build-state store: a build directory holding a JSON
+// manifest plus per-module phase-1 records and object files.
+//
+// Layout:
+//
+//	<build-dir>/manifest.json   fingerprint + per-module state (below)
+//	<build-dir>/p1-<module>.gob phase-1 record (IR module + summary, the
+//	                            cache package's entry encoding)
+//	<build-dir>/obj-<module>.gob compiled object (parv object encoding)
+//
+// The manifest records, per module: the phase-1 source hash, the names of
+// the two artifact files, and a hash of every program-database directive
+// the module's phase-2 compilation consumed (one per consulted procedure,
+// plus the program-wide eligibility list). Everything is guarded by a
+// fingerprint combining the store format version with the caller's
+// toolchain fingerprint; state written by a different format or toolchain
+// is rejected wholesale — stale artifacts must never survive a compiler
+// upgrade, because nothing else could tell them apart from fresh ones.
+package incremental
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ipra/internal/cache"
+	"ipra/internal/ir"
+	"ipra/internal/parv"
+	"ipra/internal/summary"
+)
+
+// FormatVersion versions the build directory layout and manifest schema.
+// Bump it whenever either changes shape or meaning; older directories are
+// then rebuilt from scratch instead of misread.
+const FormatVersion = "ipra-build/v1"
+
+const manifestName = "manifest.json"
+
+// moduleState is the manifest record for one module.
+type moduleState struct {
+	// SourceHash is the phase-1 content hash (module name + source text +
+	// toolchain fingerprint).
+	SourceHash string `json:"sourceHash"`
+	// Phase1File / ObjectFile are base names inside the build directory.
+	Phase1File string `json:"phase1File"`
+	ObjectFile string `json:"objectFile"`
+	// EligibleHash fingerprints the program-wide eligibility list the
+	// module's phase 2 consumed; Directives holds one hash per consulted
+	// procedure (the module's own functions and its direct callees).
+	EligibleHash string            `json:"eligibleHash"`
+	Directives   map[string]string `json:"directives"`
+}
+
+// manifest is the whole persisted build state.
+type manifest struct {
+	Fingerprint string                  `json:"fingerprint"`
+	Modules     map[string]*moduleState `json:"modules"`
+}
+
+// store wraps one opened build directory.
+type store struct {
+	dir         string
+	fingerprint string
+	prev        manifest
+	// resetReason is non-empty when an existing manifest was discarded
+	// (fingerprint mismatch or unreadable state); reset distinguishes that
+	// from a first build in an empty directory.
+	reset       bool
+	resetReason string
+}
+
+// openStore loads the build directory's manifest, rejecting state written
+// under a different format or toolchain fingerprint.
+func openStore(dir, toolchainFingerprint string) (*store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("incremental: empty build directory path")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	s := &store{
+		dir:         dir,
+		fingerprint: FormatVersion + "|" + toolchainFingerprint,
+	}
+	s.prev.Modules = make(map[string]*moduleState)
+
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case os.IsNotExist(err):
+		s.resetReason = "no previous build state"
+		return s, nil
+	case err != nil:
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		s.reset = true
+		s.resetReason = "unreadable manifest: " + err.Error()
+		return s, nil
+	}
+	if m.Fingerprint != s.fingerprint {
+		s.reset = true
+		s.resetReason = fmt.Sprintf("fingerprint mismatch (stored %q, want %q)", m.Fingerprint, s.fingerprint)
+		return s, nil
+	}
+	if m.Modules != nil {
+		s.prev = m
+	}
+	return s, nil
+}
+
+// artifactFile derives the stable artifact base name for a module. The
+// sanitized module name keeps the directory browsable; the name-hash
+// suffix keeps distinct modules from colliding after sanitization.
+func artifactFile(prefix, module string) string {
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, module)
+	suffix := cache.SourceKey(module, nil, "artifact-name").Hex()[:8]
+	return prefix + "-" + sanitized + "-" + suffix + ".gob"
+}
+
+// path resolves a manifest-recorded base name inside the build directory,
+// rejecting anything that could escape it (a tampered manifest must not
+// become a file read elsewhere on disk).
+func (s *store) path(base string) (string, error) {
+	if base == "" || base != filepath.Base(base) {
+		return "", fmt.Errorf("incremental: invalid artifact name %q in manifest", base)
+	}
+	return filepath.Join(s.dir, base), nil
+}
+
+// loadPhase1 reads a stored phase-1 record.
+func (s *store) loadPhase1(ms *moduleState) (*ir.Module, *summary.ModuleSummary, error) {
+	p, err := s.path(ms.Phase1File)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cache.ReadEntryFile(p)
+}
+
+// loadObject reads a stored object file.
+func (s *store) loadObject(ms *moduleState) (*parv.Object, error) {
+	p, err := s.path(ms.ObjectFile)
+	if err != nil {
+		return nil, err
+	}
+	return parv.ReadObjectFile(p)
+}
+
+// writePhase1 persists a phase-1 record and returns its base name.
+func (s *store) writePhase1(module string, m *ir.Module, sum *summary.ModuleSummary) (string, error) {
+	base := artifactFile("p1", module)
+	return base, cache.WriteEntryFile(filepath.Join(s.dir, base), m, sum)
+}
+
+// writeObject persists an object file and returns its base name.
+func (s *store) writeObject(module string, o *parv.Object) (string, error) {
+	base := artifactFile("obj", module)
+	return base, parv.WriteObjectFile(filepath.Join(s.dir, base), o)
+}
+
+// save atomically replaces the manifest and prunes artifact files no
+// longer referenced by it (modules removed from the program, or artifacts
+// renamed by a format change).
+func (s *store) save(m manifest) error {
+	m.Fingerprint = s.fingerprint
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return fmt.Errorf("incremental: marshal manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+
+	referenced := make(map[string]bool, 2*len(m.Modules))
+	for _, ms := range m.Modules {
+		referenced[ms.Phase1File] = true
+		referenced[ms.ObjectFile] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil // pruning is best-effort
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if referenced[name] || !(strings.HasPrefix(name, "p1-") || strings.HasPrefix(name, "obj-")) {
+			continue
+		}
+		os.Remove(filepath.Join(s.dir, name))
+	}
+	return nil
+}

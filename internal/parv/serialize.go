@@ -1,0 +1,132 @@
+// Canonical on-disk formats for objects and executables.
+//
+// Object files are plain gob: an Object holds only slices and scalars, and
+// they are only ever read back into memory, so round-trip fidelity is all
+// they need. Executables carry a stronger guarantee — the incremental
+// build system's load-bearing invariant is a plain byte comparison ("an
+// incremental rebuild produces a byte-identical executable to a clean
+// build"), including across separate compiler processes. Gob cannot
+// deliver that: its type IDs come from a process-global registry, so the
+// same value encodes to different bytes depending on what else the
+// process gob-encoded first, and Executable's name→index maps would add
+// randomized iteration order on top. Executables are therefore encoded as
+// JSON of a map-free view (struct fields in declaration order, map
+// contents flattened into name-sorted slices), which is deterministic
+// across processes; the maps are rebuilt on read.
+package parv
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// exeView is the deterministic wire form of an Executable.
+type exeView struct {
+	Code     []Instr
+	Funcs    []FuncInfo
+	Data     []byte
+	Globals  []globalAddr // GlobalAddr flattened, sorted by name
+	DataSize int32
+	Entry    int
+}
+
+type globalAddr struct {
+	Name string
+	Addr int32
+}
+
+// EncodeExecutable writes the canonical serialization of exe: the same
+// executable always encodes to the same bytes, so on-disk images can be
+// compared with a plain byte diff.
+func EncodeExecutable(buf *bytes.Buffer, exe *Executable) error {
+	v := exeView{
+		Code:     exe.Code,
+		Funcs:    exe.Funcs,
+		Data:     exe.Data,
+		DataSize: exe.DataSize,
+		Entry:    exe.Entry,
+	}
+	v.Globals = make([]globalAddr, 0, len(exe.GlobalAddr))
+	for name, addr := range exe.GlobalAddr {
+		v.Globals = append(v.Globals, globalAddr{Name: name, Addr: addr})
+	}
+	sort.Slice(v.Globals, func(i, j int) bool { return v.Globals[i].Name < v.Globals[j].Name })
+	if err := json.NewEncoder(buf).Encode(&v); err != nil {
+		return fmt.Errorf("parv: encode executable: %w", err)
+	}
+	return nil
+}
+
+// DecodeExecutable reads a canonical executable image, rebuilding the
+// derived name→index maps.
+func DecodeExecutable(data []byte) (*Executable, error) {
+	var v exeView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("parv: decode executable: %w", err)
+	}
+	exe := &Executable{
+		Code:     v.Code,
+		Funcs:    v.Funcs,
+		Data:     v.Data,
+		DataSize: v.DataSize,
+		Entry:    v.Entry,
+	}
+	exe.FuncIdx = make(map[string]int, len(exe.Funcs))
+	for i, fi := range exe.Funcs {
+		exe.FuncIdx[fi.Name] = i
+	}
+	exe.GlobalAddr = make(map[string]int32, len(v.Globals))
+	for _, g := range v.Globals {
+		exe.GlobalAddr[g.Name] = g.Addr
+	}
+	return exe, nil
+}
+
+// WriteExecutableFile stores exe at path in canonical form.
+func WriteExecutableFile(path string, exe *Executable) error {
+	var buf bytes.Buffer
+	if err := EncodeExecutable(&buf, exe); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadExecutableFile loads an executable written by WriteExecutableFile.
+func ReadExecutableFile(path string) (*Executable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	exe, err := DecodeExecutable(data)
+	if err != nil {
+		return nil, fmt.Errorf("parv: %s: %w", path, err)
+	}
+	return exe, nil
+}
+
+// WriteObjectFile stores a compiled module at path (gob; deterministic
+// because Object holds no maps).
+func WriteObjectFile(path string, o *Object) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
+		return fmt.Errorf("parv: encode object %s: %w", o.Module, err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadObjectFile loads an object written by WriteObjectFile.
+func ReadObjectFile(path string) (*Object, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var o Object
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&o); err != nil {
+		return nil, fmt.Errorf("parv: %s: %w", path, err)
+	}
+	return &o, nil
+}

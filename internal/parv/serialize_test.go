@@ -1,0 +1,96 @@
+package parv
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testExecutable() *Executable {
+	return &Executable{
+		Code: []Instr{
+			{Op: LDI, Rd: 3, Imm: 7},
+			{Op: BL, Target: 0, Sym: "main"},
+		},
+		Funcs:      []FuncInfo{{Name: "main", Start: 0, End: 2}},
+		FuncIdx:    map[string]int{"main": 0},
+		Data:       []byte{1, 2, 3, 4},
+		GlobalAddr: map[string]int32{"b": 4, "a": 0, "c": 8},
+		DataSize:   1 << 16,
+		Entry:      0,
+	}
+}
+
+// TestExecutableEncodingDeterministic is what the incremental build's
+// byte-for-byte comparison of on-disk executables rests on: the canonical
+// encoding must not inherit gob's randomized map iteration order.
+func TestExecutableEncodingDeterministic(t *testing.T) {
+	var first bytes.Buffer
+	if err := EncodeExecutable(&first, testExecutable()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		var again bytes.Buffer
+		if err := EncodeExecutable(&again, testExecutable()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("encode %d differs from the first encode", i)
+		}
+	}
+}
+
+func TestExecutableFileRoundtrip(t *testing.T) {
+	exe := testExecutable()
+	path := filepath.Join(t.TempDir(), "prog.exe")
+	if err := WriteExecutableFile(path, exe); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExecutableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Code, exe.Code) || !reflect.DeepEqual(got.Funcs, exe.Funcs) {
+		t.Error("code/functions lost in roundtrip")
+	}
+	if !reflect.DeepEqual(got.FuncIdx, exe.FuncIdx) {
+		t.Error("function index not rebuilt")
+	}
+	if !reflect.DeepEqual(got.GlobalAddr, exe.GlobalAddr) {
+		t.Error("global addresses lost in roundtrip")
+	}
+	if !bytes.Equal(got.Data, exe.Data) || got.DataSize != exe.DataSize || got.Entry != exe.Entry {
+		t.Error("data image lost in roundtrip")
+	}
+	// The pc→function table is derived state; it must work after a load.
+	if got.FuncOfPC(1) != 0 {
+		t.Error("FuncOfPC broken after decode")
+	}
+	if _, err := ReadExecutableFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing executable must error")
+	}
+}
+
+func TestObjectFileRoundtrip(t *testing.T) {
+	o := &Object{
+		Module: "m.mc",
+		Funcs: []*ObjFunc{{
+			Name:   "f",
+			Code:   []Instr{{Op: LDI, Rd: 3, Imm: 1}},
+			Relocs: []Reloc{{Kind: RelCall, Index: 0, Sym: "g"}},
+		}},
+		Globals: []*DataSym{{Name: "g", Size: 4, Defined: true, Init: []byte{0, 0, 0, 1}}},
+	}
+	path := filepath.Join(t.TempDir(), "m.obj")
+	if err := WriteObjectFile(path, o); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadObjectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, o) {
+		t.Errorf("object roundtrip mismatch:\n%+v\n%+v", got, o)
+	}
+}

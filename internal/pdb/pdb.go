@@ -8,9 +8,12 @@
 package pdb
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"ipra/internal/regs"
 )
@@ -114,6 +117,68 @@ func (d *ProcDirectives) Validate() error {
 		}
 	}
 	return nil
+}
+
+// CanonicalBytes returns a stable serialization of the directives: the
+// JSON encoding with the Promoted list sorted by global name. Two
+// semantically identical directive sets always produce the same bytes, no
+// matter what order the analyzer emitted the promotions in, so the bytes
+// (and DirectiveHash over them) are safe to persist and compare across
+// builds.
+func (d *ProcDirectives) CanonicalBytes() []byte {
+	cp := *d
+	if len(d.Promoted) > 0 {
+		cp.Promoted = append([]PromotedGlobal(nil), d.Promoted...)
+		sort.Slice(cp.Promoted, func(i, j int) bool { return cp.Promoted[i].Name < cp.Promoted[j].Name })
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		// ProcDirectives contains only marshalable fields; a failure here
+		// is a programming error, not an input condition.
+		panic(fmt.Sprintf("pdb: canonical marshal %s: %v", d.Name, err))
+	}
+	return data
+}
+
+// DirectiveHash fingerprints the directives a procedure's phase-2
+// compilation consumes. The incremental driver stores one hash per
+// consulted procedure and recompiles a module only when one of them
+// changes.
+func (d *ProcDirectives) DirectiveHash() string {
+	sum := sha256.Sum256(d.CanonicalBytes())
+	return hex.EncodeToString(sum[:16])
+}
+
+// EligibleHash fingerprints the program-wide intraprocedural promotion
+// eligibility list, which phase 2 consults for every function of every
+// module (order-insensitive).
+func (db *Database) EligibleHash() string {
+	sorted := append([]string(nil), db.EligibleGlobals...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, g := range sorted {
+		fmt.Fprintf(h, "%d:%s,", len(g), g)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Hash fingerprints the whole database: every procedure's canonical
+// directives plus the eligibility list. Two databases hash equal iff phase
+// 2 would behave identically under them.
+func (db *Database) Hash() string {
+	names := make([]string, 0, len(db.Procs))
+	for name := range db.Procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		b := db.Procs[name].CanonicalBytes()
+		fmt.Fprintf(h, "%d:", len(b))
+		h.Write(b)
+	}
+	fmt.Fprintf(h, "|eligible=%s", db.EligibleHash())
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // WriteFile serializes the database as JSON.

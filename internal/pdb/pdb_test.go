@@ -58,6 +58,87 @@ func TestValidateCatchesOverlaps(t *testing.T) {
 	}
 }
 
+func TestDirectiveHashStability(t *testing.T) {
+	mk := func() *ProcDirectives {
+		return &ProcDirectives{
+			Name:   "f",
+			Free:   regs.Of(8),
+			Caller: regs.Of(19, 20),
+			Callee: regs.Of(3),
+			Promoted: []PromotedGlobal{
+				{Name: "g", Reg: 17, IsEntry: true, NeedStore: true, WebID: 4},
+				{Name: "a", Reg: 16, WebID: 2},
+			},
+		}
+	}
+	d := mk()
+	if d.DirectiveHash() != mk().DirectiveHash() {
+		t.Error("identical directives must hash identically")
+	}
+
+	// Promotion order must not matter: the canonical form sorts by name.
+	swapped := mk()
+	swapped.Promoted[0], swapped.Promoted[1] = swapped.Promoted[1], swapped.Promoted[0]
+	if swapped.DirectiveHash() != d.DirectiveHash() {
+		t.Error("promotion order changed the hash")
+	}
+	if swapped.Promoted[0].Name != "a" {
+		t.Error("canonicalization must not reorder the caller's slice")
+	}
+
+	// Every semantic change must change the hash.
+	for name, mut := range map[string]func(*ProcDirectives){
+		"free set":      func(d *ProcDirectives) { d.Free = regs.Of(9) },
+		"caller set":    func(d *ProcDirectives) { d.Caller = regs.Of(19) },
+		"mspill set":    func(d *ProcDirectives) { d.MSpill = regs.Of(10) },
+		"promotion reg": func(d *ProcDirectives) { d.Promoted[0].Reg = 15 },
+		"need store":    func(d *ProcDirectives) { d.Promoted[1].NeedStore = true },
+		"cluster root":  func(d *ProcDirectives) { d.IsClusterRoot = true },
+		"clobber":       func(d *ProcDirectives) { d.HasClobber = true; d.ClobberAtCalls = regs.Of(19) },
+	} {
+		c := mk()
+		mut(c)
+		if c.DirectiveHash() == d.DirectiveHash() {
+			t.Errorf("%s change did not change the hash", name)
+		}
+	}
+}
+
+func TestDatabaseHashes(t *testing.T) {
+	db := New()
+	db.EligibleGlobals = []string{"b", "a"}
+	db.Procs["f"] = Standard("f")
+
+	other := New()
+	other.EligibleGlobals = []string{"a", "b"}
+	other.Procs["f"] = Standard("f")
+	if db.EligibleHash() != other.EligibleHash() {
+		t.Error("eligible hash must be order-insensitive")
+	}
+	if db.Hash() != other.Hash() {
+		t.Error("equivalent databases must hash equal")
+	}
+
+	other.Procs["g"] = Standard("g")
+	if db.Hash() == other.Hash() {
+		t.Error("adding a procedure must change the database hash")
+	}
+	other = New()
+	other.EligibleGlobals = []string{"a"}
+	other.Procs["f"] = Standard("f")
+	if db.Hash() == other.Hash() {
+		t.Error("eligibility change must change the database hash")
+	}
+	// Unambiguous list encoding: ["ab"] vs ["a","b"].
+	one := New()
+	one.EligibleGlobals = []string{"ab"}
+	two := New()
+	two.EligibleGlobals = []string{"a", "b"}
+	if one.EligibleHash() == two.EligibleHash() {
+		t.Error("eligible hash must length-prefix elements")
+	}
+}
+
 func TestDatabaseRoundtrip(t *testing.T) {
 	db := New()
 	db.EligibleGlobals = []string{"a", "b"}

@@ -23,10 +23,14 @@ package ipra
 
 import (
 	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
 
 	"ipra/internal/cache"
 	"ipra/internal/codegen"
 	"ipra/internal/core"
+	"ipra/internal/incremental"
 	"ipra/internal/ir"
 	"ipra/internal/irgen"
 	"ipra/internal/minic/parser"
@@ -299,29 +303,9 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 
 	// ---- Compiler second phase, modules in parallel (order-independent;
 	// the program database is shared read-only).
-	eligible := make(map[string]bool, len(p.DB.EligibleGlobals))
-	for _, g := range p.DB.EligibleGlobals {
-		eligible[g] = true
-	}
+	eligible := eligibleMap(p.DB)
 	p.Objects, err = pipeline.Map(cfg.Jobs, p.Modules, func(_ int, m *ir.Module) (*parv.Object, error) {
-		work := m.Clone()
-		for _, f := range work.Funcs {
-			dir := p.DB.Lookup(f.Name)
-			skip := make(map[string]bool, len(dir.Promoted))
-			for _, pg := range dir.Promoted {
-				skip[pg.Name] = true
-			}
-			// Web-promoted globals become pinned register references
-			// before scalar optimization, so copy propagation folds them
-			// into their uses (§5).
-			opt.ApplyWebDirectives(f, dir.Promoted)
-			opt.Level2(f, eligible, skip)
-		}
-		obj, err := codegen.Compile(work, p.DB)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m.Name, err)
-		}
-		return obj, nil
+		return phase2Module(m, p.DB, eligible)
 	})
 	if err != nil {
 		return nil, err
@@ -334,6 +318,43 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 	}
 	p.Exe = exe
 	return p, nil
+}
+
+// eligibleMap converts the database's eligibility list into the lookup set
+// the optimizer consumes.
+func eligibleMap(db *pdb.Database) map[string]bool {
+	eligible := make(map[string]bool, len(db.EligibleGlobals))
+	for _, g := range db.EligibleGlobals {
+		eligible[g] = true
+	}
+	return eligible
+}
+
+// phase2Module runs the compiler second phase on one module: apply the
+// database's directives, optimize, and generate code. It never mutates m;
+// everything runs on a scratch clone. The output is a pure function of the
+// module IR, the directives of its own procedures and direct callees, and
+// the eligibility set — the property the incremental driver's
+// directive-diff invalidation relies on.
+func phase2Module(m *ir.Module, db *pdb.Database, eligible map[string]bool) (*parv.Object, error) {
+	work := m.Clone()
+	for _, f := range work.Funcs {
+		dir := db.Lookup(f.Name)
+		skip := make(map[string]bool, len(dir.Promoted))
+		for _, pg := range dir.Promoted {
+			skip[pg.Name] = true
+		}
+		// Web-promoted globals become pinned register references
+		// before scalar optimization, so copy propagation folds them
+		// into their uses (§5).
+		opt.ApplyWebDirectives(f, dir.Promoted)
+		opt.Level2(f, eligible, skip)
+	}
+	obj, err := codegen.Compile(work, db)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.Name, err)
+	}
+	return obj, nil
 }
 
 // eligibleFromSummaries computes program-wide promotion eligibility for the
@@ -379,6 +400,90 @@ func sortStrings(ss []string) {
 	}
 }
 
+// phase2Fingerprint versions the persisted phase-2 artifacts (objects in
+// an incremental build directory). It must change whenever the optimizer,
+// directive application, code generator, or object format change meaning.
+const phase2Fingerprint = "ipra/phase2+codegen/v1"
+
+// toolchainFingerprint stamps incremental build state. It combines both
+// phase fingerprints with the Go toolchain version, so state written by an
+// older compiler build is rejected wholesale rather than misinterpreted.
+func toolchainFingerprint() string {
+	return phase1Fingerprint + "|" + phase2Fingerprint + "|" + runtime.Version()
+}
+
+// IncrementalOptions configure CompileIncremental.
+type IncrementalOptions struct {
+	// BuildDir is the persistent build-state directory (created if
+	// missing). State inside is keyed by source content, directive hashes,
+	// and a toolchain fingerprint; see internal/incremental.
+	BuildDir string
+	// Explain, when non-nil, receives one line per module explaining why
+	// it was or wasn't rebuilt.
+	Explain io.Writer
+}
+
+// CompileIncremental is Compile backed by a persistent build directory: it
+// recompiles phase 1 only for modules whose source changed, re-runs the
+// program analyzer on the merged summary set, recompiles phase 2 only for
+// modules whose source or consumed directives changed, and relinks from
+// stored plus fresh objects. The result is byte-identical to Compile on
+// the same sources and configuration — reuse is pure memoization — and the
+// returned Outcome records what was rebuilt and why.
+//
+// The configuration needs no fingerprint of its own in the build state:
+// nothing in Config reaches phase 1, and phase 2 sees the configuration
+// only through the program database, whose directives are diffed directly.
+// Switching configurations over one build directory therefore rebuilds
+// exactly the modules whose directives the switch changes.
+func CompileIncremental(sources []Source, cfg Config, opts IncrementalOptions) (*Program, *incremental.Outcome, error) {
+	p := &Program{Config: cfg}
+	tc := incremental.Toolchain{
+		Fingerprint: toolchainFingerprint(),
+		Phase1: func(name string, text []byte) (*ir.Module, *summary.ModuleSummary, error) {
+			return phase1Module(Source{Name: name, Text: text}, cfg)
+		},
+		Analyze: func(sums []*summary.ModuleSummary) (*pdb.Database, error) {
+			if !cfg.UseAnalyzer {
+				db := pdb.New()
+				db.EligibleGlobals = eligibleFromSummaries(sums)
+				return db, nil
+			}
+			o := cfg.Analyzer
+			o.Profile = cfg.Profile
+			res, err := core.Analyze(sums, o)
+			if err != nil {
+				return nil, err
+			}
+			p.Analysis = res
+			return res.DB, nil
+		},
+		Phase2: func(db *pdb.Database) func(m *ir.Module) (*parv.Object, error) {
+			eligible := eligibleMap(db)
+			return func(m *ir.Module) (*parv.Object, error) {
+				return phase2Module(m, db, eligible)
+			}
+		},
+		Link: func(objs []*parv.Object) (*parv.Executable, error) {
+			return parv.Link(objs, parv.LinkConfig{DataSize: cfg.DataSize})
+		},
+	}
+	srcs := make([]incremental.Source, len(sources))
+	for i, s := range sources {
+		srcs[i] = incremental.Source{Name: s.Name, Text: s.Text}
+	}
+	out, err := incremental.Build(opts.BuildDir, srcs, tc, incremental.Options{Jobs: cfg.Jobs, Explain: opts.Explain})
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Modules = out.Modules
+	p.Summaries = out.Summaries
+	p.DB = out.DB
+	p.Objects = out.Objects
+	p.Exe = out.Exe
+	return p, out, nil
+}
+
 // RunResult is the outcome of executing a compiled program on the
 // simulator.
 type RunResult struct {
@@ -422,4 +527,29 @@ func CompileProfiled(sources []Source, cfg Config, maxInstrs uint64) (*Program, 
 		return nil, nil, err
 	}
 	return p, train, nil
+}
+
+// CompileProfiledIncremental is CompileProfiled over persistent build
+// state. The heuristic training build keeps its state in a "train"
+// subdirectory of opts.BuildDir, so the profiled directives in the main
+// store are never churned by the training pass and a no-edit rebuild of
+// both passes recompiles nothing. The returned Outcome describes the final
+// (profiled) build.
+func CompileProfiledIncremental(sources []Source, cfg Config, maxInstrs uint64, opts IncrementalOptions) (*Program, *RunResult, *incremental.Outcome, error) {
+	trainOpts := opts
+	trainOpts.BuildDir = filepath.Join(opts.BuildDir, "train")
+	first, _, err := CompileIncremental(sources, cfg, trainOpts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, err := first.Run(maxInstrs, true)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("profiling run: %w", err)
+	}
+	cfg.Profile = train.Profile
+	p, out, err := CompileIncremental(sources, cfg, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, train, out, nil
 }
