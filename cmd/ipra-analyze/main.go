@@ -8,6 +8,11 @@
 // Flags select the paper's strategies: -promotion {none,coloring,greedy,
 // blanket}, -regs N (coloring registers), -spill-motion, and -profile to
 // supply profiled call counts.
+//
+// For scaling experiments, -synth <preset> analyzes a synthesized whole
+// program (small/medium/large, ~500/2000/10000 procedures) instead of
+// summary files, -j bounds analyzer parallelism, and -cpuprofile/
+// -memprofile capture pprof data for the run.
 package main
 
 import (
@@ -15,10 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"ipra/internal/core"
 	"ipra/internal/parv"
 	"ipra/internal/pdb"
+	"ipra/internal/progen"
 	"ipra/internal/summary"
 )
 
@@ -34,11 +43,41 @@ func main() {
 		mergeWebs   = flag.Bool("merge-webs", false, "re-merge webs through common dominators (§7.6.1)")
 		callerSaves = flag.Bool("caller-saves", false, "banded caller-saves preallocation (§7.6.2)")
 		verbose     = flag.Bool("v", false, "print the analysis report")
+		synth       = flag.String("synth", "", "analyze a synthesized program instead of summary files ("+strings.Join(progen.PresetNames(), ", ")+")")
+		jobs        = flag.Int("j", 0, "analyzer parallelism (0 = one worker per CPU, 1 = sequential)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "ipra-analyze: no summary files")
+	if flag.NArg() == 0 && *synth == "" {
+		fmt.Fprintln(os.Stderr, "ipra-analyze: no summary files (or use -synth <preset>)")
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	opt := core.DefaultOptions()
@@ -48,6 +87,7 @@ func main() {
 	opt.PartialProgram = *partial
 	opt.MergeWebs = *mergeWebs
 	opt.CallerSavesPreallocation = *callerSaves
+	opt.Jobs = *jobs
 	switch *promotion {
 	case "none":
 		opt.Promotion = core.PromoteNone
@@ -75,6 +115,13 @@ func main() {
 	}
 
 	var sums []*summary.ModuleSummary
+	if *synth != "" {
+		pcfg, err := progen.Preset(*synth)
+		if err != nil {
+			fatal(err)
+		}
+		sums = progen.GenerateSummaries(pcfg)
+	}
 	for _, f := range flag.Args() {
 		ms, err := summary.ReadFile(f)
 		if err != nil {

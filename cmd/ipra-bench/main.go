@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ipra"
 	"ipra/internal/bench"
@@ -26,8 +28,36 @@ func main() {
 		only     = flag.String("bench", "", "run a single benchmark")
 		jobs     = flag.Int("j", 0, "parallel jobs for the sweep and compiler (0 = one per CPU, 1 = sequential)")
 		verbose  = flag.Bool("v", false, "print phase-1 cache statistics after the sweep")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	if *verbose {
 		defer func() {
 			s := ipra.Phase1CacheStats()

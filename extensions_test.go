@@ -181,7 +181,7 @@ int main() {
 		if w.Var != "counter" || w.Discarded {
 			continue
 		}
-		if len(w.Nodes) >= 4 {
+		if w.Size() >= 4 {
 			found = true
 			if len(w.Entries) != 1 {
 				t.Errorf("merged web entries = %v, want exactly main", w.Entries)

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"ipra/internal/ir"
 	"ipra/internal/summary"
@@ -120,7 +121,7 @@ func ReadEntryFile(path string) (*ir.Module, *summary.ModuleSummary, error) {
 	return m, ms, nil
 }
 
-// Stats counts cache traffic.
+// Stats is a consistent snapshot of the traffic counters.
 type Stats struct {
 	Hits, Misses, Evictions uint64
 	Entries                 int
@@ -136,7 +137,11 @@ type Cache struct {
 	// pops the tail instead of rescanning every entry for the oldest
 	// clock reading.
 	head, tail *entry
-	stats      Stats
+
+	// Traffic counters are atomics, not fields guarded by mu: Stats may be
+	// polled while parallel compile workers hammer Get/Put, and a plain
+	// read would race with the increments.
+	hits, misses, evictions atomic.Uint64
 }
 
 // DefaultMaxEntries bounds the process-wide cache: comfortably above the
@@ -188,15 +193,15 @@ func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
 	c.mu.Lock()
 	e := c.entries[k]
 	if e == nil {
-		c.stats.Misses++
 		c.mu.Unlock()
+		c.misses.Add(1)
 		return nil, nil, false
 	}
 	c.unlink(e)
 	c.pushFront(e)
-	c.stats.Hits++
 	data := e.data
 	c.mu.Unlock()
+	c.hits.Add(1)
 
 	// Decode outside the lock: it is the expensive part of a hit.
 	m, ms, err := DecodeEntry(data)
@@ -208,7 +213,6 @@ func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
 			c.unlink(cur)
 			delete(c.entries, k)
 		}
-		c.stats.Entries = len(c.entries)
 		c.mu.Unlock()
 		return nil, nil, false
 	}
@@ -228,7 +232,6 @@ func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
 		e.data = data
 		c.unlink(e)
 		c.pushFront(e)
-		c.stats.Entries = len(c.entries)
 		return nil
 	}
 	e := &entry{key: k, data: data}
@@ -238,19 +241,23 @@ func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
 		victim := c.tail
 		c.unlink(victim)
 		delete(c.entries, victim.key)
-		c.stats.Evictions++
+		c.evictions.Add(1)
 	}
-	c.stats.Entries = len(c.entries)
 	return nil
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. It is safe to call
+// concurrently with Get and Put.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	return s
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
 }
 
 // Reset empties the cache and zeroes the counters.
@@ -259,5 +266,7 @@ func (c *Cache) Reset() {
 	defer c.mu.Unlock()
 	c.entries = make(map[Key]*entry)
 	c.head, c.tail = nil, nil
-	c.stats = Stats{}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
 }

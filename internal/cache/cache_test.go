@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"ipra/internal/ir"
@@ -182,6 +183,57 @@ func TestEntryFileRoundtrip(t *testing.T) {
 	}
 	if _, _, err := ReadEntryFile(filepath.Join(t.TempDir(), "absent")); err == nil {
 		t.Error("missing entry file must error")
+	}
+}
+
+// TestStatsConcurrent polls Stats while workers hammer Get and Put — the
+// race detector flags any counter read that is not synchronized with the
+// hot-path increments. It also checks the final tallies add up.
+func TestStatsConcurrent(t *testing.T) {
+	c := New(8)
+	m, ms := testModule("m"), testSummary("m")
+	const workers, opsPerWorker = 4, 200
+
+	stop := make(chan struct{})
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Stats()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				k := SourceKey(fmt.Sprintf("m%d", (w*opsPerWorker+i)%16), nil, "")
+				if _, _, ok := c.Get(k); !ok {
+					if err := c.Put(k, m, ms); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	poller.Wait()
+
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*opsPerWorker {
+		t.Errorf("hits %d + misses %d != %d lookups", s.Hits, s.Misses, workers*opsPerWorker)
+	}
+	if s.Entries > 8 {
+		t.Errorf("cache holds %d entries, max 8", s.Entries)
 	}
 }
 

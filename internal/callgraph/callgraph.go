@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ipra/internal/ir"
 	"ipra/internal/parv"
 	"ipra/internal/summary"
 )
@@ -80,6 +81,14 @@ type Graph struct {
 	// AddrTakenProcs is the set of procedures whose addresses are computed
 	// anywhere (the conservative indirect-call target set, §7.3).
 	AddrTakenProcs map[string]bool
+
+	// rpo caches the reverse postorder over the current node and edge set.
+	// Every consumer of ReversePostorder/Postorder (dominators, reference
+	// sets, webs, clusters) shares this one traversal; mutations that change
+	// the node or edge set must go through recomputeOrders.
+	rpo []int
+	// startSet mirrors Starts for O(1) membership tests.
+	startSet ir.BitSet
 }
 
 // NodeByName returns the node with the given qualified name, or nil.
@@ -203,6 +212,7 @@ func Build(summaries []*summary.ModuleSummary) (*Graph, error) {
 		}
 	}
 
+	g.recomputeOrders()
 	g.computeSCC()
 	g.computeDominators()
 	return g, nil
@@ -227,6 +237,7 @@ func (g *Graph) AddSyntheticCaller(name string, targets []int) *Node {
 			g.Starts = append(g.Starts, nd.ID)
 		}
 	}
+	g.recomputeOrders()
 	g.computeSCC()
 	g.computeDominators()
 	return n
@@ -417,13 +428,16 @@ func (g *Graph) computeDominators() {
 	}
 	// Dominator tree depths.
 	var depth func(v int) int
-	memo := make(map[int]int)
+	memo := make([]int, n)
+	for i := range memo {
+		memo[i] = -1
+	}
 	depth = func(v int) int {
 		if v == virtualRoot {
 			return 0
 		}
-		if d, ok := memo[v]; ok {
-			return d
+		if memo[v] >= 0 {
+			return memo[v]
 		}
 		memo[v] = 0 // cycle guard (cannot happen in a valid dom tree)
 		d := depth(g.Nodes[v].IDom) + 1
@@ -436,6 +450,9 @@ func (g *Graph) computeDominators() {
 }
 
 func isStart(g *Graph, v int) bool {
+	if v < len(g.startSet)*64 {
+		return g.startSet.Has(v)
+	}
 	for _, s := range g.Starts {
 		if s == v {
 			return true
@@ -456,22 +473,39 @@ func (g *Graph) Dominates(a, b int) bool {
 	return false
 }
 
-// ReversePostorder returns node IDs in reverse postorder of a DFS from the
-// start nodes (callers before callees on acyclic paths). Unreachable nodes
-// are appended at the end.
-func (g *Graph) ReversePostorder() []int {
+// recomputeOrders refreshes the cached reverse postorder and the start-node
+// bit set. It must run after any mutation of the node set, edge set, or
+// Starts (Build and AddSyntheticCaller both call it).
+func (g *Graph) recomputeOrders() {
 	n := len(g.Nodes)
+	g.startSet = ir.NewBitSet(n)
+	for _, s := range g.Starts {
+		g.startSet.Set(s)
+	}
+
 	visited := make([]bool, n)
-	var post []int
-	var dfs func(v int)
-	dfs = func(v int) {
-		visited[v] = true
-		for _, e := range g.Nodes[v].Out {
-			if !visited[e.To] {
-				dfs(e.To)
+	post := make([]int, 0, n)
+	// Iterative DFS: synthesized call graphs reach tens of thousands of
+	// nodes, and recursion depth tracks the longest call chain.
+	type frame struct{ v, ei int }
+	var stack []frame
+	dfs := func(root int) {
+		visited[root] = true
+		stack = append(stack[:0], frame{v: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < len(g.Nodes[f.v].Out) {
+				w := g.Nodes[f.v].Out[f.ei].To
+				f.ei++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{v: w})
+				}
+				continue
 			}
+			post = append(post, f.v)
+			stack = stack[:len(stack)-1]
 		}
-		post = append(post, v)
 	}
 	for _, s := range g.Starts {
 		if !visited[s] {
@@ -483,21 +517,35 @@ func (g *Graph) ReversePostorder() []int {
 			dfs(v)
 		}
 	}
-	// Reverse.
-	out := make([]int, len(post))
+	g.rpo = make([]int, len(post))
 	for i, v := range post {
-		out[len(post)-1-i] = v
+		g.rpo[len(post)-1-i] = v
 	}
+}
+
+// ReversePostorder returns node IDs in reverse postorder of a DFS from the
+// start nodes (callers before callees on acyclic paths). Unreachable nodes
+// are appended at the end. The order is computed once per graph mutation;
+// callers receive a copy they may reorder freely.
+func (g *Graph) ReversePostorder() []int {
+	if len(g.rpo) != len(g.Nodes) {
+		g.recomputeOrders() // hand-assembled graph: derive orders on demand
+	}
+	out := make([]int, len(g.rpo))
+	copy(out, g.rpo)
 	return out
 }
 
 // Postorder returns node IDs in postorder (callees before callers on
-// acyclic paths) — the "depth-first (bottom-up) order" of §4.1.2.
+// acyclic paths) — the "depth-first (bottom-up) order" of §4.1.2. Like
+// ReversePostorder, it reverses the cached order into a fresh slice.
 func (g *Graph) Postorder() []int {
-	rpo := g.ReversePostorder()
-	out := make([]int, len(rpo))
-	for i, v := range rpo {
-		out[len(rpo)-1-i] = v
+	if len(g.rpo) != len(g.Nodes) {
+		g.recomputeOrders()
+	}
+	out := make([]int, len(g.rpo))
+	for i, v := range g.rpo {
+		out[len(g.rpo)-1-i] = v
 	}
 	return out
 }
@@ -521,8 +569,11 @@ func (g *Graph) EstimateCounts() {
 	}
 
 	const rounds = 12
+	next := make([]float64, len(g.Nodes))
 	for r := 0; r < rounds; r++ {
-		next := make([]float64, len(g.Nodes))
+		for i := range next {
+			next[i] = 0
+		}
 		for _, s := range g.Starts {
 			next[s] = 1
 		}

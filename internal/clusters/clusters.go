@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"ipra/internal/callgraph"
+	"ipra/internal/ir"
 	"ipra/internal/regs"
 )
 
@@ -97,6 +98,12 @@ func Identify(g *callgraph.Graph, opt Options) *Identification {
 		MemberRoot:  make(map[int]int),
 	}
 
+	// memberBits mirrors each cluster's member list as a bit set so the
+	// membership probes of the cycle check are O(1); visited is the shared
+	// scratch set for those DFS walks.
+	memberBits := make(map[*Cluster]ir.BitSet)
+	visited := ir.NewBitSet(len(g.Nodes))
+
 	makeRoot := func(n int) {
 		if _, ok := res.RootCluster[n]; ok {
 			return
@@ -104,6 +111,7 @@ func Identify(g *callgraph.Graph, opt Options) *Identification {
 		c := &Cluster{Root: n}
 		res.RootCluster[n] = c
 		res.Clusters = append(res.Clusters, c)
+		memberBits[c] = ir.NewBitSet(len(g.Nodes))
 	}
 
 	// Processing order: predecessors first (Postpone_Visit), with the
@@ -136,12 +144,13 @@ func Identify(g *callgraph.Graph, opt Options) *Identification {
 		// Recursion restriction: a cluster may not contain a cycle. The
 		// node cannot join if it is self-recursive or shares an SCC with
 		// any node already in the candidate cluster.
-		if joinable != nil && formsCycleIn(g, joinable, n) {
+		if joinable != nil && formsCycleIn(g, memberBits[joinable], n, visited) {
 			joinable = nil
 		}
 
 		if joinable != nil {
 			joinable.Members = append(joinable.Members, n)
+			memberBits[joinable].Set(n)
 			res.MemberRoot[n] = joinable.Root
 		}
 
@@ -215,7 +224,7 @@ func commonCluster(g *callgraph.Graph, res *Identification, n int) *Cluster {
 // back into the root (this is what lets clusters live inside cycles, as in
 // Figure 7). A cycle among members alone would reuse FREE registers
 // without any intervening save.
-func formsCycleIn(g *callgraph.Graph, c *Cluster, n int) bool {
+func formsCycleIn(g *callgraph.Graph, members ir.BitSet, n int, visited ir.BitSet) bool {
 	nd := g.Nodes[n]
 	for _, e := range nd.Out {
 		if e.To == n {
@@ -226,17 +235,15 @@ func formsCycleIn(g *callgraph.Graph, c *Cluster, n int) bool {
 		return false
 	}
 	// n is part of some cycle: does any cycle through n avoid the root
-	// while staying among the cluster's members (plus n)?
-	member := map[int]bool{n: true}
-	for _, m := range c.Members {
-		member[m] = true
+	// while staying among the cluster's members (plus n)? DFS from n
+	// through member nodes only; reaching n again closes a member-only
+	// cycle. visited is caller-provided scratch, cleared here.
+	for i := range visited {
+		visited[i] = 0
 	}
-	// DFS from n through member nodes only; reaching n again closes a
-	// member-only cycle.
-	visited := map[int]bool{}
 	var stack []int
 	for _, e := range nd.Out {
-		if member[e.To] {
+		if members.Has(e.To) {
 			stack = append(stack, e.To)
 		}
 	}
@@ -246,12 +253,12 @@ func formsCycleIn(g *callgraph.Graph, c *Cluster, n int) bool {
 		if v == n {
 			return true
 		}
-		if visited[v] {
+		if visited.Has(v) {
 			continue
 		}
-		visited[v] = true
+		visited.Set(v)
 		for _, e := range g.Nodes[v].Out {
-			if member[e.To] {
+			if e.To == n || members.Has(e.To) {
 				stack = append(stack, e.To)
 			}
 		}
@@ -302,9 +309,9 @@ func Validate(g *callgraph.Graph, res *Identification) error {
 		// No recursive call cycle wholly within the cluster's members: the
 		// member-induced subgraph (root excluded, since the root spills on
 		// every invocation) must be acyclic and free of self-loops.
-		members := map[int]bool{}
+		members := ir.NewBitSet(len(g.Nodes))
 		for _, m := range c.Members {
-			members[m] = true
+			members.Set(m)
 		}
 		for _, m := range c.Members {
 			for _, e := range g.Nodes[m].Out {
@@ -376,18 +383,18 @@ func Prune(g *callgraph.Graph, id *Identification, need func(int) int) {
 
 // memberCycle returns a node on a cycle of the member-induced subgraph,
 // or -1 if it is acyclic. Three-colour DFS.
-func memberCycle(g *callgraph.Graph, members map[int]bool) int {
+func memberCycle(g *callgraph.Graph, members ir.BitSet) int {
 	const (
 		white = 0
 		grey  = 1
 		black = 2
 	)
-	color := map[int]int{}
+	color := make([]int8, len(g.Nodes))
 	var visit func(v int) int
 	visit = func(v int) int {
 		color[v] = grey
 		for _, e := range g.Nodes[v].Out {
-			if !members[e.To] {
+			if !members.Has(e.To) {
 				continue
 			}
 			switch color[e.To] {
@@ -402,14 +409,15 @@ func memberCycle(g *callgraph.Graph, members map[int]bool) int {
 		color[v] = black
 		return -1
 	}
-	for m := range members {
-		if color[m] == white {
+	cyc := -1
+	members.ForEach(func(m int) {
+		if cyc < 0 && color[m] == white {
 			if c := visit(m); c >= 0 {
-				return c
+				cyc = c
 			}
 		}
-	}
-	return -1
+	})
+	return cyc
 }
 
 // AverageSize returns the mean cluster size (root + members); the paper
@@ -520,16 +528,17 @@ func preallocate(g *callgraph.Graph, id *Identification, asn *Assignment, c *Clu
 	rootSets.Callee = calleeR
 	asn.Avail[r] = avail.Minus(calleeR)
 
-	inCluster := map[int]bool{r: true}
+	inCluster := ir.NewBitSet(len(g.Nodes))
+	inCluster.Set(r)
 	for _, m := range c.Members {
-		inCluster[m] = true
+		inCluster.Set(m)
 	}
 
 	var used regs.Set
-	visited := map[int]bool{}
+	visited := ir.NewBitSet(len(g.Nodes))
 	var visit func(n int)
 	visit = func(n int) {
-		visited[n] = true
+		visited.Set(n)
 		s := asn.Sets[n]
 		if n != r {
 			// AVAIL[N] = ∩ AVAIL[P] over immediate predecessors.
@@ -564,7 +573,7 @@ func preallocate(g *callgraph.Graph, id *Identification, asn *Assignment, c *Clu
 		}
 		for _, e := range g.Nodes[n].Out {
 			sn := e.To
-			if !inCluster[sn] || visited[sn] {
+			if !inCluster.Has(sn) || visited.Has(sn) {
 				continue
 			}
 			if allPredsVisited(g, sn, visited) {
@@ -589,9 +598,9 @@ func preallocate(g *callgraph.Graph, id *Identification, asn *Assignment, c *Clu
 	}
 }
 
-func allPredsVisited(g *callgraph.Graph, n int, visited map[int]bool) bool {
+func allPredsVisited(g *callgraph.Graph, n int, visited ir.BitSet) bool {
 	for _, e := range g.Nodes[n].In {
-		if !visited[e.From] {
+		if !visited.Has(e.From) {
 			return false
 		}
 	}

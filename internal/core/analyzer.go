@@ -83,6 +83,11 @@ type Options struct {
 	// webs of a global variable are merged through their common dominator
 	// when sharing one cold entry beats paying per-web entry transfers.
 	MergeWebs bool
+	// Jobs bounds analyzer parallelism (per-variable web construction):
+	// 0 uses one worker per CPU, 1 forces the sequential path. The
+	// directives are byte-identical at every setting — results are merged
+	// in variable-index order.
+	Jobs int
 	// CallerSavesPreallocation enables the §7.6.2 [Chow 88]-style
 	// extension: each procedure's caller-saves usage is contracted to its
 	// estimated need, the total usage of every call tree is propagated
@@ -152,7 +157,7 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 	res.Stats.EligibleGlobals = len(eligible)
 	res.DB.EligibleGlobals = eligible
 
-	allWebs := webs.Identify(g, res.Sets)
+	allWebs := webs.IdentifyJobs(g, res.Sets, opt.Jobs)
 	webs.ComputePriorities(g, res.Sets, allWebs)
 	if opt.MergeWebs {
 		allWebs = webs.Merge(g, res.Sets, allWebs)
@@ -221,9 +226,9 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 	promotedAt := make(map[int]regs.Set)
 	for _, w := range active {
 		r := webReg(w.Color)
-		for id := range w.Nodes {
+		w.Nodes.ForEach(func(id int) {
 			promotedAt[id] = promotedAt[id].Add(r)
-		}
+		})
 	}
 
 	// ---- Spill code motion (§4.2).
@@ -267,7 +272,7 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 			d.MSpill = d.MSpill.Minus(pset)
 		}
 		for _, w := range active {
-			if !w.Nodes[nd.ID] {
+			if !w.Nodes.Has(nd.ID) {
 				continue
 			}
 			d.Promoted = append(d.Promoted, pdb.PromotedGlobal{
@@ -395,17 +400,17 @@ func webNeedsStore(g *callgraph.Graph, active []*webs.Web) map[*webs.Web]bool {
 	out := make(map[*webs.Web]bool, len(active))
 	for _, w := range active {
 		modified := false
-		for id := range w.Nodes {
+		w.Nodes.ForEach(func(id int) {
 			nd := g.Nodes[id]
 			if nd.Rec == nil {
-				continue
+				return
 			}
 			for _, gr := range nd.Rec.GlobalRefs {
 				if gr.Name == w.Var && gr.Writes > 0 {
 					modified = true
 				}
 			}
-		}
+		})
 		out[w] = modified
 	}
 	return out
@@ -441,13 +446,12 @@ func discardUncompilableWebs(g *callgraph.Graph, ws []*webs.Web) {
 		if w.Discarded {
 			continue
 		}
-		for id := range w.Nodes {
-			if g.Nodes[id].Rec == nil {
+		w.Nodes.ForEach(func(id int) {
+			if !w.Discarded && g.Nodes[id].Rec == nil {
 				w.Discarded = true
 				w.DiscardReason = "web contains a procedure outside the compiled program"
-				break
 			}
-		}
+		})
 	}
 }
 

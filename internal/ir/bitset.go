@@ -1,0 +1,125 @@
+package ir
+
+import "math/bits"
+
+// BitSet is a dense bit set over virtual register numbers, call graph node
+// IDs, or any small non-negative integers. The zero value of a properly
+// sized BitSet is empty.
+//
+// Beyond liveness analysis, the whole-program analyzer keys BitSets by
+// call graph node ID for web membership, cluster membership, and traversal
+// visited sets: on large call graphs the word-wise operations (union,
+// intersection test, population count, iteration) replace per-element map
+// traffic on the analyzer's hottest paths.
+type BitSet []uint64
+
+// NewBitSet returns a bit set able to hold values in [0, n].
+func NewBitSet(n int) BitSet { return make(BitSet, (n+64)/64) }
+
+// Set adds i to the set.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << uint(i%64) }
+
+// Clear removes i from the set.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << uint(i%64) }
+
+// Has reports whether i is in the set.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+
+// OrWith unions other into s, reporting whether s changed.
+func (s BitSet) OrWith(other BitSet) bool {
+	changed := false
+	for i := range s {
+		old := s[i]
+		s[i] |= other[i]
+		if s[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy copies other into s.
+func (s BitSet) Copy(other BitSet) { copy(s, other) }
+
+// Clone returns an independent copy of s.
+func (s BitSet) Clone() BitSet {
+	out := make(BitSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// Count returns the number of elements.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s BitSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and other share any element, word-wise —
+// the web interference test of §4.1.3.
+func (s BitSet) Intersects(other BitSet) bool {
+	n := len(s)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and other hold the same elements (both sized
+// over the same universe).
+func (s BitSet) Equal(other BitSet) bool {
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s BitSet) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			fn(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Elems appends the elements in ascending order to dst and returns it.
+func (s BitSet) Elems(dst []int) []int {
+	for wi, w := range s {
+		for w != 0 {
+			dst = append(dst, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Fill adds every value in [0, n) to the set.
+func (s BitSet) Fill(n int) {
+	for i := 0; i < n/64; i++ {
+		s[i] = ^uint64(0)
+	}
+	if rem := n % 64; rem != 0 {
+		s[n/64] |= (1 << uint(rem)) - 1
+	}
+}

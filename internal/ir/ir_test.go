@@ -61,6 +61,74 @@ func TestBitSetProperties(t *testing.T) {
 	}
 }
 
+func TestBitSetOps(t *testing.T) {
+	a := NewBitSet(300)
+	b := NewBitSet(300)
+	a.Set(1)
+	a.Set(70)
+	a.Set(299)
+	b.Set(70)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("Intersects missed shared element 70")
+	}
+	b.Clear(70)
+	b.Set(2)
+	if a.Intersects(b) {
+		t.Error("Intersects reported disjoint sets as overlapping")
+	}
+	// Different universe sizes: only the common prefix is compared.
+	short := NewBitSet(10)
+	short.Set(1)
+	if !a.Intersects(short) || !short.Intersects(a) {
+		t.Error("Intersects failed across different set lengths")
+	}
+
+	var got []int
+	a.ForEach(func(i int) { got = append(got, i) })
+	want := []int{1, 70, 299}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEach = %v, want %v", got, want)
+	}
+	if el := a.Elems(nil); !reflect.DeepEqual(el, want) {
+		t.Errorf("Elems = %v, want %v", el, want)
+	}
+
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Error("Clone not Equal to source")
+	}
+	c.Set(5)
+	if a.Has(5) {
+		t.Error("Clone aliases the source storage")
+	}
+	if c.Equal(a) {
+		t.Error("Equal missed a differing element")
+	}
+
+	if a.Empty() {
+		t.Error("non-empty set reported Empty")
+	}
+	if !NewBitSet(300).Empty() {
+		t.Error("fresh set not Empty")
+	}
+
+	f := NewBitSet(130)
+	f.Fill(130)
+	if f.Count() != 130 {
+		t.Errorf("Fill(130): Count = %d", f.Count())
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		if !f.Has(i) {
+			t.Errorf("Fill(130) missing %d", i)
+		}
+	}
+	f2 := NewBitSet(128)
+	f2.Fill(128)
+	if f2.Count() != 128 {
+		t.Errorf("Fill(128): Count = %d", f2.Count())
+	}
+}
+
 // buildDiamond creates:
 //
 //	b0: v1 = 1;           branch v1 -> b1 | b2

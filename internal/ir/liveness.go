@@ -1,49 +1,5 @@
 package ir
 
-// BitSet is a dense bit set over virtual register numbers (or any small
-// non-negative integers). The zero value of a properly sized BitSet is
-// empty.
-type BitSet []uint64
-
-// NewBitSet returns a bit set able to hold values in [0, n].
-func NewBitSet(n int) BitSet { return make(BitSet, (n+64)/64) }
-
-// Set adds i to the set.
-func (s BitSet) Set(i int) { s[i/64] |= 1 << uint(i%64) }
-
-// Clear removes i from the set.
-func (s BitSet) Clear(i int) { s[i/64] &^= 1 << uint(i%64) }
-
-// Has reports whether i is in the set.
-func (s BitSet) Has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
-
-// OrWith unions other into s, reporting whether s changed.
-func (s BitSet) OrWith(other BitSet) bool {
-	changed := false
-	for i := range s {
-		old := s[i]
-		s[i] |= other[i]
-		if s[i] != old {
-			changed = true
-		}
-	}
-	return changed
-}
-
-// Copy copies other into s.
-func (s BitSet) Copy(other BitSet) { copy(s, other) }
-
-// Count returns the number of elements.
-func (s BitSet) Count() int {
-	n := 0
-	for _, w := range s {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
-	}
-	return n
-}
-
 // Liveness holds per-block live-in/live-out sets for a function's virtual
 // registers.
 type Liveness struct {
@@ -113,20 +69,11 @@ func ComputeLiveness(f *Func) *Liveness {
 				tmp[w] &^= def[i][w]
 				tmp[w] |= use[i][w]
 			}
-			if !equalBits(tmp, lv.In[i]) {
+			if !tmp.Equal(lv.In[i]) {
 				lv.In[i].Copy(tmp)
 				changed = true
 			}
 		}
 	}
 	return lv
-}
-
-func equalBits(a, b BitSet) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -19,10 +19,16 @@ package progen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
+
+	"ipra/internal/summary"
 )
 
-// Config sizes a generated program.
+// Config sizes a generated program. Generation is a pure function of the
+// Config — all randomness flows from the explicit Seed through a local
+// rand.Rand (never the global source), so two calls with equal Configs
+// produce byte-identical programs, in one process or across processes.
 type Config struct {
 	Seed           int64
 	Modules        int // compilation units
@@ -39,6 +45,34 @@ type Config struct {
 	// LoopIters scales run time.
 	LoopIters int
 }
+
+// Preset returns one of the named analyzer-benchmark size presets:
+//
+//	small   ~500 procedures  (25 modules × 20),  64 eligible globals
+//	medium  ~2000 procedures (50 modules × 40),  256 eligible globals
+//	large   ~10000 procedures (100 modules × 100), 512 eligible globals
+//
+// The presets scale the whole-program analyzer's combinatorial core — call
+// graph traversals, reference-set propagation, web construction, cluster
+// identification — far past the hand-written benchmark suite. Each preset
+// fixes its own seed, so a preset names one exact program.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "small":
+		return Config{Seed: 500, Modules: 25, ProcsPerModule: 20, Globals: 64,
+			SubsystemSize: 6, Recursion: true, IndirectCalls: true, Statics: true, LoopIters: 2}, nil
+	case "medium":
+		return Config{Seed: 2000, Modules: 50, ProcsPerModule: 40, Globals: 256,
+			SubsystemSize: 7, Recursion: true, IndirectCalls: true, Statics: true, LoopIters: 2}, nil
+	case "large":
+		return Config{Seed: 10000, Modules: 100, ProcsPerModule: 100, Globals: 512,
+			SubsystemSize: 8, Recursion: true, IndirectCalls: true, Statics: true, LoopIters: 1}, nil
+	}
+	return Config{}, fmt.Errorf("progen: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+}
+
+// PresetNames lists the Preset names in size order.
+func PresetNames() []string { return []string{"small", "medium", "large"} }
 
 // DefaultCensusConfig approximates the PA-optimizer shape of §6.2.
 func DefaultCensusConfig() Config {
@@ -78,8 +112,8 @@ type global struct {
 	owner  int // first proc of its subsystem
 }
 
-// Generate produces the program. It is deterministic in cfg.Seed.
-func Generate(cfg Config) []Module {
+// withDefaults fills unset size fields.
+func (cfg Config) withDefaults() Config {
 	if cfg.Modules <= 0 {
 		cfg.Modules = 4
 	}
@@ -92,7 +126,14 @@ func Generate(cfg Config) []Module {
 	if cfg.LoopIters <= 0 {
 		cfg.LoopIters = 2
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	return cfg
+}
+
+// buildLayout constructs the interprocedural skeleton — the call DAG and
+// the global-to-subsystem assignment — consuming rng exactly as the
+// original in-line construction did, so Generate's output for a given seed
+// is unchanged.
+func buildLayout(cfg Config, rng *rand.Rand) ([]*proc, []*global) {
 	nprocs := cfg.Modules * cfg.ProcsPerModule
 
 	// ---- Build the call DAG: procedure i may call only procedures with
@@ -152,6 +193,14 @@ func Generate(cfg Config) []Module {
 		}
 		procs[owner].globals = append(procs[owner].globals, gi)
 	}
+	return procs, globals
+}
+
+// Generate produces the program. It is deterministic in cfg.Seed.
+func Generate(cfg Config) []Module {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	procs, globals := buildLayout(cfg, rng)
 
 	// ---- Emit module sources.
 	var mods []Module
@@ -193,6 +242,132 @@ func Generate(cfg Config) []Module {
 		mods = append(mods, Module{Name: fmt.Sprintf("gen%d.mc", m), Text: b.String()})
 	}
 	return mods
+}
+
+// GenerateSummaries synthesizes the summary files the compiler first phase
+// would produce for the program Generate(cfg) describes, without running
+// the MiniC frontend. The records carry the same interprocedural structure
+// — the call DAG, subsystem-localized global references, recursion,
+// indirect dispatch, statics — with deterministic frequencies, so the
+// program analyzer sees a workload of the right shape at any size. It is
+// deterministic in cfg.Seed, like Generate.
+func GenerateSummaries(cfg Config) []*summary.ModuleSummary {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	procs, globals := buildLayout(cfg, rng)
+
+	modName := func(m int) string { return fmt.Sprintf("gen%d.mc", m) }
+	sums := make([]*summary.ModuleSummary, cfg.Modules)
+	for m := range sums {
+		sums[m] = &summary.ModuleSummary{Module: modName(m)}
+	}
+
+	// Global tables: the defining module declares each variable; other
+	// modules that reference a non-static see it as an extern (undefined).
+	for _, g := range globals {
+		sums[g.module].Globals = append(sums[g.module].Globals, summary.GlobalInfo{
+			Name: g.name, Module: modName(g.module), Size: 4,
+			Defined: true, Static: g.static, Scalar: true,
+		})
+	}
+	sums[0].Globals = append(sums[0].Globals, summary.GlobalInfo{
+		Name: "check", Module: modName(0), Size: 4, Defined: true, Scalar: true,
+	})
+	if cfg.IndirectCalls {
+		sums[0].Globals = append(sums[0].Globals, summary.GlobalInfo{
+			Name: "dispatch", Module: modName(0), Size: 16, Defined: true, AddrTaken: true,
+		})
+	}
+
+	for _, p := range procs {
+		rec := summary.ProcRecord{Name: p.name, Module: modName(p.module)}
+
+		// Subsystem global references, aggregated per name with
+		// deterministic loop-depth-style weights.
+		refs := make(map[int]*summary.GlobalRef)
+		order := []int{}
+		for _, gi := range p.globals {
+			g := globals[gi]
+			if g.static && g.module != p.module {
+				continue
+			}
+			r := refs[gi]
+			if r == nil {
+				r = &summary.GlobalRef{Name: g.name}
+				refs[gi] = r
+				order = append(order, gi)
+			}
+			f := int64(1 + (p.id+3*gi)%10)
+			r.Freq += f
+			if (p.id^gi)%3 == 0 {
+				r.Writes += f
+			} else {
+				r.Reads += f
+			}
+		}
+		for _, gi := range order {
+			rec.GlobalRefs = append(rec.GlobalRefs, *refs[gi])
+		}
+		// Every generated procedure updates the program checksum.
+		rec.GlobalRefs = append(rec.GlobalRefs, summary.GlobalRef{Name: "check", Freq: 1, Reads: 1, Writes: 1})
+		sort.Slice(rec.GlobalRefs, func(i, j int) bool { return rec.GlobalRefs[i].Name < rec.GlobalRefs[j].Name })
+
+		calls := make(map[int]int64)
+		var callOrder []int
+		for _, c := range p.callees {
+			if calls[c] == 0 {
+				callOrder = append(callOrder, c)
+			}
+			calls[c] += int64(1 + (p.id+c)%4)
+		}
+		if p.deep { // bounded self-recursion
+			if calls[p.id] == 0 {
+				callOrder = append(callOrder, p.id)
+			}
+			calls[p.id] += 2
+		}
+		sort.Ints(callOrder)
+		for _, c := range callOrder {
+			rec.Calls = append(rec.Calls, summary.CallSite{Callee: procs[c].name, Freq: calls[c]})
+		}
+
+		rec.CalleeSavesNeeded = 1 + (p.id*7)%6
+		rec.CalleeSavesBase = rec.CalleeSavesNeeded
+		rec.CallerSavesNeeded = (p.id * 5) % 4
+		sums[p.module].Procs = append(sums[p.module].Procs, rec)
+	}
+
+	// main: drives a handful of roots and the dispatch table, mirroring
+	// emitMain's shape.
+	main := summary.ProcRecord{
+		Name: "main", Module: modName(0),
+		GlobalRefs: []summary.GlobalRef{{Name: "check", Freq: 8, Reads: 4, Writes: 4}},
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 6 && i < len(procs); i++ {
+		p := procs[i*7%len(procs)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			main.Calls = append(main.Calls, summary.CallSite{Callee: p.name, Freq: int64(cfg.LoopIters)})
+		}
+	}
+	sort.Slice(main.Calls, func(i, j int) bool { return main.Calls[i].Callee < main.Calls[j].Callee })
+	if cfg.IndirectCalls {
+		main.MakesIndirectCalls = true
+		main.IndirectCallFreq = int64(cfg.LoopIters)
+		targets := make(map[string]bool)
+		for i := 0; i < 4 && i < len(procs); i++ {
+			targets[procs[(i*13)%(1+len(procs)/4)].name] = true
+		}
+		for t := range targets {
+			main.AddrTakenProcs = append(main.AddrTakenProcs, t)
+		}
+		sort.Strings(main.AddrTakenProcs)
+	}
+	main.CalleeSavesNeeded = 2
+	main.CalleeSavesBase = 2
+	sums[0].Procs = append(sums[0].Procs, main)
+	return sums
 }
 
 // emitProc writes one procedure body: global traffic, arithmetic, loops,

@@ -115,13 +115,13 @@ func Compute(g *callgraph.Graph, vars []string) *Sets {
 	return s
 }
 
-// setNames returns the variable names present in the given per-node set.
+// setNames returns the variable names present in the given per-node set,
+// iterating set bits word-wise rather than probing every variable index.
 func (s *Sets) setNames(bs ir.BitSet) []string {
-	var out []string
-	for i, v := range s.Vars {
-		if bs.Has(i) {
-			out = append(out, v)
-		}
+	out := make([]string, 0, bs.Count())
+	bs.ForEach(func(i int) { out = append(out, s.Vars[i]) })
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

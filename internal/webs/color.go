@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ipra/internal/callgraph"
+	"ipra/internal/ir"
 	"ipra/internal/refsets"
 )
 
@@ -47,13 +48,13 @@ func ComputePriorities(g *callgraph.Graph, sets *refsets.Sets, ws []*Web) {
 		w.RefWeight = 0
 		w.LRefNodes = 0
 		vi := sets.Index[w.Var]
-		for id := range w.Nodes {
+		w.Nodes.ForEach(func(id int) {
 			nd := g.Nodes[id]
 			if sets.LRef[id].Has(vi) {
 				w.LRefNodes++
 			}
 			if nd.Rec == nil || !sets.LRef[id].Has(vi) {
-				continue
+				return
 			}
 			calls := nd.Count
 			if calls < 1 {
@@ -64,7 +65,7 @@ func ComputePriorities(g *callgraph.Graph, sets *refsets.Sets, ws []*Web) {
 				callsOut += e.Count
 			}
 			w.RefWeight += 2*calls + 2*callsOut
-		}
+		})
 		w.EntryWeight = 0
 		for _, e := range w.Entries {
 			c := g.Nodes[e].Count
@@ -80,16 +81,17 @@ func ComputePriorities(g *callgraph.Graph, sets *refsets.Sets, ws []*Web) {
 // Filter marks webs that should not be considered for coloring.
 func Filter(ws []*Web, opt FilterOptions) {
 	for _, w := range ws {
+		size := w.Size()
 		switch {
 		case len(w.Entries) == 0:
 			w.Discarded = true
 			w.DiscardReason = "no entry nodes (cannot insert load/store)"
 		case opt.KeepAll:
 			// keep everything else
-		case len(w.Nodes) == 1 && w.RefWeight < opt.MinSingleNodeWeight:
+		case size == 1 && w.RefWeight < opt.MinSingleNodeWeight:
 			w.Discarded = true
 			w.DiscardReason = "single node with infrequent access"
-		case float64(w.LRefNodes)/float64(len(w.Nodes)) < opt.MinLRefRatio:
+		case float64(w.LRefNodes)/float64(size) < opt.MinLRefRatio:
 			w.Discarded = true
 			w.DiscardReason = "too sparse (low L_REF ratio)"
 		case w.Priority <= 0:
@@ -100,12 +102,13 @@ func Filter(ws []*Web, opt FilterOptions) {
 }
 
 // Interfere reports whether two webs share a call graph node (§4.1.3:
-// interfering webs cannot be promoted to the same register).
+// interfering webs cannot be promoted to the same register). With bit-set
+// membership this is a word-wise intersection test.
 func Interfere(a, b *Web) bool {
 	if a == b {
 		return false
 	}
-	return sharesNode(a, b)
+	return a.Nodes.Intersects(b.Nodes)
 }
 
 // considered returns the colorable candidates in priority order.
@@ -163,12 +166,14 @@ func Color(ws []*Web, numRegs int) int {
 // totalRegs is the size of the callee-saves set.
 func GreedyColor(ws []*Web, g *callgraph.Graph, need func(int) int, totalRegs int) int {
 	cs := considered(ws)
-	webAt := make(map[int][]*Web) // node -> colored webs containing it
+	webAt := make([][]*Web, len(g.Nodes)) // node -> colored webs containing it
 	colored := 0
+	ids := make([]int, 0, 64)
 	for _, w := range cs {
+		ids = w.Nodes.Elems(ids[:0])
 		// Head-room check at every member node.
 		ok := true
-		for id := range w.Nodes {
+		for _, id := range ids {
 			if len(webAt[id])+need(id)+1 > totalRegs {
 				ok = false
 				break
@@ -180,7 +185,7 @@ func GreedyColor(ws []*Web, g *callgraph.Graph, need func(int) int, totalRegs in
 		}
 		// Lowest color unused by interfering colored webs.
 		inUse := make([]bool, totalRegs)
-		for id := range w.Nodes {
+		for _, id := range ids {
 			for _, x := range webAt[id] {
 				if x.Color >= 0 {
 					inUse[x.Color] = true
@@ -198,7 +203,7 @@ func GreedyColor(ws []*Web, g *callgraph.Graph, need func(int) int, totalRegs in
 			continue
 		}
 		colored++
-		for id := range w.Nodes {
+		for _, id := range ids {
 			webAt[id] = append(webAt[id], w)
 		}
 	}
@@ -235,12 +240,10 @@ func BlanketSelect(g *callgraph.Graph, sets *refsets.Sets, ws []*Web, n int) []*
 	var out []*Web
 	for i, v := range vars {
 		w := &Web{
-			ID: 10000 + i, Var: v, Nodes: make(map[int]bool),
+			ID: 10000 + i, Var: v, Nodes: ir.NewBitSet(len(g.Nodes)),
 			Color: i, Blanket: true,
 		}
-		for _, nd := range g.Nodes {
-			w.Nodes[nd.ID] = true
-		}
+		w.Nodes.Fill(len(g.Nodes))
 		w.Entries = append(w.Entries, g.Starts...)
 		out = append(out, w)
 	}

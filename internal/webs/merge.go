@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ipra/internal/callgraph"
+	"ipra/internal/ir"
 	"ipra/internal/refsets"
 )
 
@@ -82,33 +83,28 @@ func tryMerge(g *callgraph.Graph, sets *refsets.Sets, v string, group []*Web, id
 
 	// Connecting region: nodes reachable from the dominator that reach a
 	// web node.
-	inWebs := map[int]bool{}
+	inWebs := ir.NewBitSet(len(g.Nodes))
 	for _, w := range group {
-		for n := range w.Nodes {
-			inWebs[n] = true
-		}
+		inWebs.OrWith(w.Nodes)
 	}
 	region := connectingRegion(g, dom, inWebs)
+	region.OrWith(inWebs)
 
-	w := &Web{ID: id, Var: v, Nodes: make(map[int]bool), Color: -1}
-	seed := make([]int, 0, len(region)+len(inWebs))
-	for n := range region {
-		seed = append(seed, n)
-	}
-	for n := range inWebs {
-		seed = append(seed, n)
-	}
-	sort.Ints(seed)
-	growWeb(g, sets, vi, w, seed)
+	w := &Web{ID: id, Var: v, Nodes: ir.NewBitSet(len(g.Nodes)), Color: -1}
+	growWeb(g, sets, vi, w, region.Elems(nil))
 	computeEntries(g, w)
 	if len(w.Entries) == 0 {
 		return nil
 	}
 	// No member may lack a summary record (we must compile every member).
-	for n := range w.Nodes {
+	bad := false
+	w.Nodes.ForEach(func(n int) {
 		if g.Nodes[n].Rec == nil {
-			return nil
+			bad = true
 		}
+	})
+	if bad {
+		return nil
 	}
 
 	// Profitability: merged priority must beat the group's combined
@@ -150,44 +146,40 @@ func commonDominator(g *callgraph.Graph, a, b int) int {
 }
 
 // connectingRegion returns the nodes on paths from dom to any node in
-// targets (dom included).
-func connectingRegion(g *callgraph.Graph, dom int, targets map[int]bool) map[int]bool {
+// targets (dom included), as the word-wise intersection of forward
+// reachability from dom with backward reachability from the targets.
+func connectingRegion(g *callgraph.Graph, dom int, targets ir.BitSet) ir.BitSet {
 	// Forward reachability from dom.
-	fwd := map[int]bool{dom: true}
+	fwd := ir.NewBitSet(len(g.Nodes))
+	fwd.Set(dom)
 	stack := []int{dom}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range g.Nodes[n].Out {
-			if !fwd[e.To] {
-				fwd[e.To] = true
+			if !fwd.Has(e.To) {
+				fwd.Set(e.To)
 				stack = append(stack, e.To)
 			}
 		}
 	}
 	// Backward reachability from the targets.
-	bwd := map[int]bool{}
-	stack = stack[:0]
-	for t := range targets {
-		bwd[t] = true
-		stack = append(stack, t)
-	}
+	bwd := targets.Clone()
+	stack = targets.Elems(stack[:0])
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range g.Nodes[n].In {
-			if !bwd[e.From] {
-				bwd[e.From] = true
+			if !bwd.Has(e.From) {
+				bwd.Set(e.From)
 				stack = append(stack, e.From)
 			}
 		}
 	}
-	region := map[int]bool{}
-	for n := range fwd {
-		if bwd[n] {
-			region[n] = true
-		}
+	region := fwd
+	for i := range region {
+		region[i] &= bwd[i]
 	}
-	region[dom] = true
+	region.Set(dom)
 	return region
 }

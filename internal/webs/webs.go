@@ -16,6 +16,8 @@ import (
 	"sort"
 
 	"ipra/internal/callgraph"
+	"ipra/internal/ir"
+	"ipra/internal/pipeline"
 	"ipra/internal/refsets"
 )
 
@@ -26,8 +28,11 @@ type Web struct {
 	ID  int
 	Var string
 
-	// Nodes is the set of call graph node IDs in the web.
-	Nodes map[int]bool
+	// Nodes is the member set, a bit per call graph node ID. Dense bit
+	// sets make the hot operations of web construction and coloring —
+	// membership tests, merges, and the pairwise interference test —
+	// word-wise instead of per-element map traffic.
+	Nodes ir.BitSet
 	// Entries are the web's root nodes: members with no predecessor inside
 	// the web. The compiler second phase loads the global at their entry
 	// points and stores it back at their exits.
@@ -59,17 +64,13 @@ type Web struct {
 }
 
 // Contains reports whether the web contains node id.
-func (w *Web) Contains(id int) bool { return w.Nodes[id] }
+func (w *Web) Contains(id int) bool { return w.Nodes.Has(id) }
+
+// Size returns the number of member nodes.
+func (w *Web) Size() int { return w.Nodes.Count() }
 
 // NodeIDs returns the member node IDs in ascending order.
-func (w *Web) NodeIDs() []int {
-	ids := make([]int, 0, len(w.Nodes))
-	for id := range w.Nodes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
+func (w *Web) NodeIDs() []int { return w.Nodes.Elems(nil) }
 
 // IsEntry reports whether node id is an entry node of the web.
 func (w *Web) IsEntry(id int) bool {
@@ -88,46 +89,109 @@ func (w *Web) String() string {
 // ----------------------------------------------------------------------------
 // Web identification (Figure 2)
 
+// identifyState is the shared, read-only context for per-variable web
+// construction. It inverts the reference sets once — per-variable L_REF
+// node lists and per-SCC member lists — so each variable visits only the
+// nodes that mention it instead of scanning the whole graph.
+type identifyState struct {
+	g    *callgraph.Graph
+	sets *refsets.Sets
+
+	// lrefNodes[vi] lists the node IDs with variable vi in L_REF,
+	// ascending.
+	lrefNodes [][]int
+	// sccMembers[c] lists the node IDs of SCC c, ascending (SCCs are
+	// numbered densely by the call graph).
+	sccMembers map[int][]int
+}
+
+func newIdentifyState(g *callgraph.Graph, sets *refsets.Sets) *identifyState {
+	st := &identifyState{g: g, sets: sets, lrefNodes: make([][]int, len(sets.Vars))}
+	for _, nd := range g.Nodes {
+		p := nd.ID
+		sets.LRef[p].ForEach(func(vi int) {
+			st.lrefNodes[vi] = append(st.lrefNodes[vi], p)
+		})
+	}
+	st.sccMembers = make(map[int][]int)
+	for _, nd := range g.Nodes {
+		st.sccMembers[nd.SCC] = append(st.sccMembers[nd.SCC], nd.ID)
+	}
+	return st
+}
+
+// websFor runs Compute_Webs for a single variable. It touches only
+// read-only shared state, so distinct variables can run concurrently.
+func (st *identifyState) websFor(vi int) []*Web {
+	g, sets := st.g, st.sets
+	v := sets.Vars[vi]
+	var vwebs []*Web
+	// covered is the union of all webs built so far for this variable: a
+	// one-word probe replaces the per-web membership scan, and a freshly
+	// grown web only pays the pairwise merge scan when it actually
+	// overlaps the union.
+	covered := ir.NewBitSet(len(g.Nodes))
+	add := func(w *Web) {
+		if covered.Intersects(w.Nodes) {
+			vwebs = mergeOverlap(vwebs, w)
+		} else {
+			vwebs = append(vwebs, w)
+		}
+		covered.OrWith(w.Nodes)
+	}
+	// Candidate web entry nodes: G ∈ L_REF[P] and G ∉ P_REF[P].
+	for _, p := range st.lrefNodes[vi] {
+		if sets.PRef[p].Has(vi) || covered.Has(p) {
+			continue
+		}
+		w := &Web{Var: v, Nodes: ir.NewBitSet(len(g.Nodes)), Color: -1}
+		growWeb(g, sets, vi, w, []int{p})
+		add(w)
+	}
+	// Recursive call chains: a cycle that references G but whose entry
+	// paths never do leaves G in P_REF all around the cycle, so no
+	// candidate entry exists. Put each such cycle in its own web and
+	// enlarge it for correctness (§4.1.2).
+	for _, p := range st.lrefNodes[vi] {
+		nd := g.Nodes[p]
+		if !nd.Recursive || covered.Has(p) {
+			continue
+		}
+		w := &Web{Var: v, Nodes: ir.NewBitSet(len(g.Nodes)), Color: -1, FromCycle: true}
+		growWeb(g, sets, vi, w, st.sccMembers[nd.SCC])
+		add(w)
+	}
+	return vwebs
+}
+
 // Identify computes the webs of every eligible global variable, following
 // the Compute_Webs/Expand_Web algorithm of Figure 2, plus the paper's
 // companion rule for recursive call chains.
 func Identify(g *callgraph.Graph, sets *refsets.Sets) []*Web {
+	return IdentifyJobs(g, sets, 1)
+}
+
+// IdentifyJobs is Identify with the per-variable construction fanned
+// across a bounded worker pool: webs of distinct variables never interact
+// until coloring, so each variable is an independent work item. jobs
+// follows pipeline.Workers semantics (0 = one worker per CPU, 1 =
+// sequential). Results are concatenated in variable-index order and IDs
+// assigned afterwards, so the output is byte-identical to the sequential
+// run regardless of worker interleaving.
+func IdentifyJobs(g *callgraph.Graph, sets *refsets.Sets, jobs int) []*Web {
+	st := newIdentifyState(g, sets)
+	perVar := make([][]*Web, len(sets.Vars))
+	if pipeline.Workers(jobs) <= 1 || len(sets.Vars) < 2 {
+		for vi := range sets.Vars {
+			perVar[vi] = st.websFor(vi)
+		}
+	} else {
+		perVar, _ = pipeline.Map(jobs, make([]struct{}, len(sets.Vars)),
+			func(vi int, _ struct{}) ([]*Web, error) { return st.websFor(vi), nil })
+	}
 	var webs []*Web
-	for vi, v := range sets.Vars {
-		var vwebs []*Web
-		// Candidate web entry nodes: G ∈ L_REF[P] and G ∉ P_REF[P].
-		for _, nd := range g.Nodes {
-			p := nd.ID
-			if !sets.LRef[p].Has(vi) || sets.PRef[p].Has(vi) {
-				continue
-			}
-			if containedIn(vwebs, p) {
-				continue
-			}
-			w := &Web{Var: v, Nodes: make(map[int]bool), Color: -1}
-			growWeb(g, sets, vi, w, []int{p})
-			vwebs = mergeOverlap(vwebs, w)
-		}
-		// Recursive call chains: a cycle that references G but whose entry
-		// paths never do leaves G in P_REF all around the cycle, so no
-		// candidate entry exists. Put each such cycle in its own web and
-		// enlarge it for correctness (§4.1.2).
-		for _, nd := range g.Nodes {
-			p := nd.ID
-			if !nd.Recursive || !sets.LRef[p].Has(vi) || containedIn(vwebs, p) {
-				continue
-			}
-			w := &Web{Var: v, Nodes: make(map[int]bool), Color: -1, FromCycle: true}
-			var seed []int
-			for _, other := range g.Nodes {
-				if other.SCC == nd.SCC {
-					seed = append(seed, other.ID)
-				}
-			}
-			growWeb(g, sets, vi, w, seed)
-			vwebs = mergeOverlap(vwebs, w)
-		}
-		webs = append(webs, vwebs...)
+	for _, vw := range perVar {
+		webs = append(webs, vw...)
 	}
 	for i, w := range webs {
 		w.ID = i + 1
@@ -142,17 +206,20 @@ func Identify(g *callgraph.Graph, sets *refsets.Sets) []*Web {
 // predecessors are either all internal or all external.
 func growWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, seed []int) {
 	temp := seed
+	seen := ir.NewBitSet(len(g.Nodes))
 	for {
 		for _, q := range temp {
 			expandWeb(g, sets, vi, w, q)
 		}
 		// S = members with both an internal and an external predecessor.
 		var nextTemp []int
-		seen := make(map[int]bool)
-		for z := range w.Nodes {
+		for i := range seen {
+			seen[i] = 0
+		}
+		w.Nodes.ForEach(func(z int) {
 			internal, external := false, false
 			for _, e := range g.Nodes[z].In {
-				if w.Nodes[e.From] {
+				if w.Nodes.Has(e.From) {
 					internal = true
 				} else {
 					external = true
@@ -160,13 +227,13 @@ func growWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, seed []int)
 			}
 			if internal && external {
 				for _, e := range g.Nodes[z].In {
-					if !w.Nodes[e.From] && !seen[e.From] {
-						seen[e.From] = true
+					if !w.Nodes.Has(e.From) && !seen.Has(e.From) {
+						seen.Set(e.From)
 						nextTemp = append(nextTemp, e.From)
 					}
 				}
 			}
-		}
+		})
 		if len(nextTemp) == 0 {
 			return
 		}
@@ -178,13 +245,13 @@ func growWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, seed []int)
 // expandWeb is Figure 2's Expand_Web: add Q, then recursively add every
 // successor that has the variable in its C_REF or L_REF set.
 func expandWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, q int) {
-	if w.Nodes[q] {
+	if w.Nodes.Has(q) {
 		return
 	}
-	w.Nodes[q] = true
+	w.Nodes.Set(q)
 	for _, e := range g.Nodes[q].Out {
 		s := e.To
-		if w.Nodes[s] {
+		if w.Nodes.Has(s) {
 			continue
 		}
 		if sets.CRef[s].Has(vi) || sets.LRef[s].Has(vi) {
@@ -199,9 +266,7 @@ func mergeOverlap(ws []*Web, w *Web) []*Web {
 	out := ws[:0]
 	for _, x := range ws {
 		if x.Var == w.Var && sharesNode(x, w) {
-			for id := range x.Nodes {
-				w.Nodes[id] = true
-			}
+			w.Nodes.OrWith(x.Nodes)
 			w.FromCycle = w.FromCycle || x.FromCycle
 			continue
 		}
@@ -210,35 +275,15 @@ func mergeOverlap(ws []*Web, w *Web) []*Web {
 	return append(out, w)
 }
 
-func sharesNode(a, b *Web) bool {
-	small, large := a, b
-	if len(b.Nodes) < len(a.Nodes) {
-		small, large = b, a
-	}
-	for id := range small.Nodes {
-		if large.Nodes[id] {
-			return true
-		}
-	}
-	return false
-}
-
-func containedIn(ws []*Web, id int) bool {
-	for _, w := range ws {
-		if w.Nodes[id] {
-			return true
-		}
-	}
-	return false
-}
+func sharesNode(a, b *Web) bool { return a.Nodes.Intersects(b.Nodes) }
 
 // computeEntries fills w.Entries: members with no predecessor in the web.
 func computeEntries(g *callgraph.Graph, w *Web) {
 	w.Entries = w.Entries[:0]
-	for _, id := range w.NodeIDs() {
+	w.Nodes.ForEach(func(id int) {
 		internal := false
 		for _, e := range g.Nodes[id].In {
-			if w.Nodes[e.From] && e.From != id {
+			if w.Nodes.Has(e.From) && e.From != id {
 				internal = true
 				break
 			}
@@ -250,7 +295,7 @@ func computeEntries(g *callgraph.Graph, w *Web) {
 		if !internal {
 			w.Entries = append(w.Entries, id)
 		}
-	}
+	})
 }
 
 // Validate checks the structural invariants §4.1.2 requires for
@@ -260,20 +305,20 @@ func Validate(g *callgraph.Graph, sets *refsets.Sets, w *Web) error {
 	if !ok {
 		return fmt.Errorf("web %d: unknown variable %s", w.ID, w.Var)
 	}
-	if len(w.Nodes) == 0 {
+	if w.Nodes.Empty() {
 		return fmt.Errorf("web %d: empty", w.ID)
 	}
 	entries := make(map[int]bool, len(w.Entries))
 	for _, e := range w.Entries {
 		entries[e] = true
-		if !w.Nodes[e] {
+		if !w.Nodes.Has(e) {
 			return fmt.Errorf("web %d: entry %d not a member", w.ID, e)
 		}
 	}
-	for id := range w.Nodes {
+	for _, id := range w.NodeIDs() {
 		hasInternal := false
 		for _, e := range g.Nodes[id].In {
-			if w.Nodes[e.From] {
+			if w.Nodes.Has(e.From) {
 				hasInternal = true
 			} else if !entries[id] {
 				return fmt.Errorf("web %d: internal node %s has external predecessor %s",
@@ -286,9 +331,9 @@ func Validate(g *callgraph.Graph, sets *refsets.Sets, w *Web) error {
 	}
 	// No member may call an external procedure that references the
 	// variable (the web must be a complete live range).
-	for id := range w.Nodes {
+	for _, id := range w.NodeIDs() {
 		for _, e := range g.Nodes[id].Out {
-			if w.Nodes[e.To] {
+			if w.Nodes.Has(e.To) {
 				continue
 			}
 			if sets.LRef[e.To].Has(vi) || sets.CRef[e.To].Has(vi) {

@@ -74,7 +74,7 @@ func TestWebInvariantsOnRandomGraphs(t *testing.T) {
 				if w.Var != v {
 					continue
 				}
-				for id := range w.Nodes {
+				for _, id := range w.NodeIDs() {
 					if prev, dup := owner[id]; dup {
 						t.Fatalf("trial %d: node %d in webs %d and %d for %s",
 							trial, id, prev, w.ID, v)
@@ -167,7 +167,7 @@ func TestGreedyColoringRespectsNeed(t *testing.T) {
 			if w.Color < 0 {
 				continue
 			}
-			for id := range w.Nodes {
+			for _, id := range w.NodeIDs() {
 				perNode[id]++
 			}
 		}
@@ -202,8 +202,8 @@ func TestBlanketSelect(t *testing.T) {
 		if !b.Blanket {
 			t.Error("blanket web not marked")
 		}
-		if len(b.Nodes) != len(g.Nodes) {
-			t.Errorf("blanket web covers %d of %d nodes", len(b.Nodes), len(g.Nodes))
+		if b.Size() != len(g.Nodes) {
+			t.Errorf("blanket web covers %d of %d nodes", b.Size(), len(g.Nodes))
 		}
 		for _, s := range g.Starts {
 			if !b.IsEntry(s) {
@@ -249,7 +249,7 @@ func TestRecursiveCycleWeb(t *testing.T) {
 	if err := webs.Validate(g, sets, w); err != nil {
 		t.Fatal(err)
 	}
-	if !w.Nodes[g.NodeByName("a").ID] || !w.Nodes[g.NodeByName("b").ID] {
+	if !w.Contains(g.NodeByName("a").ID) || !w.Contains(g.NodeByName("b").ID) {
 		t.Errorf("cycle nodes missing from web: %v", w)
 	}
 }

@@ -290,6 +290,7 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 	if cfg.UseAnalyzer {
 		o := cfg.Analyzer
 		o.Profile = cfg.Profile
+		o.Jobs = cfg.Jobs
 		res, err := core.Analyze(p.Summaries, o)
 		if err != nil {
 			return nil, err
@@ -451,6 +452,7 @@ func CompileIncremental(sources []Source, cfg Config, opts IncrementalOptions) (
 			}
 			o := cfg.Analyzer
 			o.Profile = cfg.Profile
+			o.Jobs = cfg.Jobs
 			res, err := core.Analyze(sums, o)
 			if err != nil {
 				return nil, err
