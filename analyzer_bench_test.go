@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -37,7 +38,7 @@ func benchmarkAnalyzer(b *testing.B, preset string, jobs int) {
 	opt.Jobs = jobs
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Analyze(sums, opt)
+		res, err := core.Analyze(context.Background(), sums, opt)
 		if err != nil {
 			b.Fatal(err)
 		}

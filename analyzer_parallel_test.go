@@ -2,6 +2,7 @@ package ipra
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"ipra/internal/benchprogs"
@@ -33,11 +34,11 @@ func TestAnalyzerParallelDeterminism(t *testing.T) {
 			parCfg.Jobs = 8
 			parCfg.DisableCache = true
 
-			seq, err := Compile(sources, seqCfg)
+			seq, err := Build(context.Background(), sources, seqCfg)
 			if err != nil {
 				t.Fatalf("%s/%s sequential: %v", b, cfg.Name, err)
 			}
-			par, err := Compile(sources, parCfg)
+			par, err := Build(context.Background(), sources, parCfg)
 			if err != nil {
 				t.Fatalf("%s/%s parallel: %v", b, cfg.Name, err)
 			}
@@ -69,13 +70,13 @@ func TestAnalyzerParallelDeterminismSynth(t *testing.T) {
 
 	seqOpt := core.DefaultOptions()
 	seqOpt.Jobs = 1
-	seq, err := core.Analyze(sums, seqOpt)
+	seq, err := core.Analyze(context.Background(), sums, seqOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	parOpt := core.DefaultOptions()
 	parOpt.Jobs = 8
-	par, err := core.Analyze(sums, parOpt)
+	par, err := core.Analyze(context.Background(), sums, parOpt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,168 @@
+package ipra
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPresetRegistry pins the Presets registry against the named
+// constructors: same names, same order, same configurations.
+func TestPresetRegistry(t *testing.T) {
+	wantNames := []string{"L2", "A", "B", "C", "D", "E", "F"}
+	if got := PresetNames(); !reflect.DeepEqual(got, wantNames) {
+		t.Errorf("PresetNames() = %v, want %v", got, wantNames)
+	}
+
+	presets := Presets()
+	if len(presets) != len(wantNames) {
+		t.Errorf("Presets() has %d entries, want %d", len(presets), len(wantNames))
+	}
+	constructors := map[string]func() Config{
+		"L2": Level2, "A": ConfigA, "B": ConfigB, "C": ConfigC,
+		"D": ConfigD, "E": ConfigE, "F": ConfigF,
+	}
+	for name, build := range constructors {
+		reg, ok := presets[name]
+		if !ok {
+			t.Errorf("Presets() is missing %q", name)
+			continue
+		}
+		if want := build(); !reflect.DeepEqual(reg, want) {
+			t.Errorf("Presets()[%q] differs from %s()", name, name)
+		}
+	}
+
+	// Configs is the sweep: registry order minus the baseline.
+	sweep := Configs()
+	if len(sweep) != 6 {
+		t.Fatalf("Configs() has %d entries, want 6", len(sweep))
+	}
+	for i, c := range sweep {
+		if c.Name != wantNames[i+1] {
+			t.Errorf("Configs()[%d].Name = %q, want %q", i, c.Name, wantNames[i+1])
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range []string{"L2", "l2", "C", "c", "f"} {
+		cfg, err := PresetByName(name)
+		if err != nil {
+			t.Errorf("PresetByName(%q): %v", name, err)
+			continue
+		}
+		if !strings.EqualFold(cfg.Name, name) {
+			t.Errorf("PresetByName(%q).Name = %q", name, cfg.Name)
+		}
+	}
+	if _, err := PresetByName("Z"); err == nil {
+		t.Error("PresetByName(\"Z\") should fail")
+	}
+	// Registry values are fresh copies: mutating one must not leak into
+	// the next lookup.
+	a, _ := PresetByName("C")
+	a.Analyzer.ColoringRegs = 99
+	b, _ := PresetByName("C")
+	if b.Analyzer.ColoringRegs == 99 {
+		t.Error("PresetByName returns shared Config values")
+	}
+}
+
+// TestDeprecatedWrappersMatchBuild keeps the old entry points covered:
+// each must produce byte-identical output to the Build call it wraps.
+func TestDeprecatedWrappersMatchBuild(t *testing.T) {
+	sources := tracedProgram()
+	cfg := ConfigC()
+
+	viaBuild, err := Build(context.Background(), sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCompile, err := Compile(sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exeBytes(t, viaBuild.Exe), exeBytes(t, viaCompile.Exe)) {
+		t.Error("Compile output differs from Build output")
+	}
+
+	pcfg := ConfigF()
+	profBuild, err := Build(context.Background(), sources, pcfg, WithProfile(10_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profCompile, train, err := CompileProfiled(sources, pcfg, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train == nil {
+		t.Error("CompileProfiled returned no training run")
+	}
+	if !bytes.Equal(exeBytes(t, profBuild.Exe), exeBytes(t, profCompile.Exe)) {
+		t.Error("CompileProfiled output differs from Build+WithProfile output")
+	}
+
+	dir := t.TempDir()
+	incr, out, err := CompileIncremental(sources, cfg, IncrementalOptions{BuildDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Error("CompileIncremental returned no outcome")
+	}
+	if !bytes.Equal(exeBytes(t, viaBuild.Exe), exeBytes(t, incr.Exe)) {
+		t.Error("CompileIncremental output differs from Build output")
+	}
+	if _, _, err := CompileIncremental(sources, cfg, IncrementalOptions{}); err == nil {
+		t.Error("CompileIncremental with an empty build dir should fail")
+	}
+}
+
+// TestBuildWithBuildDir covers the incremental option on the unified
+// entry point: a second identical Build over the same directory reuses
+// everything, and the outcome is recorded on the result.
+func TestBuildWithBuildDir(t *testing.T) {
+	sources := tracedProgram()
+	cfg := ConfigC()
+	dir := t.TempDir()
+
+	clean, err := Build(context.Background(), sources, cfg, WithBuildDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Incremental == nil {
+		t.Fatal("WithBuildDir build has no Incremental outcome")
+	}
+	if clean.Incremental.Phase1Rebuilds != len(sources) {
+		t.Errorf("clean build phase-1 rebuilds = %d, want %d", clean.Incremental.Phase1Rebuilds, len(sources))
+	}
+
+	again, err := Build(context.Background(), sources, cfg, WithBuildDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Incremental.Phase1Rebuilds != 0 || again.Incremental.Phase2Rebuilds != 0 {
+		t.Errorf("no-op rebuild recompiled %d/%d modules, want 0/0",
+			again.Incremental.Phase1Rebuilds, again.Incremental.Phase2Rebuilds)
+	}
+	if !bytes.Equal(exeBytes(t, clean.Exe), exeBytes(t, again.Exe)) {
+		t.Error("incremental rebuild changed the executable")
+	}
+}
+
+// TestBuildWithStderr routes the incremental explanations through the
+// option.
+func TestBuildWithStderr(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Build(context.Background(), tracedProgram(), ConfigC(),
+		WithBuildDir(t.TempDir()), WithStderr(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("WithStderr received no explain output")
+	}
+}

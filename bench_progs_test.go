@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"testing"
 
 	"ipra/internal/benchprogs"
@@ -27,7 +28,7 @@ func TestBenchmarkProgramsRun(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			sources := benchSources(t, b)
 
-			base, err := Compile(sources, Level2())
+			base, err := Build(context.Background(), sources, Level2())
 			if err != nil {
 				t.Fatalf("compile L2: %v", err)
 			}
@@ -40,12 +41,11 @@ func TestBenchmarkProgramsRun(t *testing.T) {
 				want.Stats.MemRefs(), want.Stats.SingletonRefs())
 
 			for _, cfg := range Configs() {
-				var p *Program
+				var opts []BuildOption
 				if cfg.WantProfile {
-					p, _, err = CompileProfiled(sources, cfg, b.MaxInstrs)
-				} else {
-					p, err = Compile(sources, cfg)
+					opts = append(opts, WithProfile(b.MaxInstrs))
 				}
+				p, err := Build(context.Background(), sources, cfg, opts...)
 				if err != nil {
 					t.Fatalf("compile %s: %v", cfg.Name, err)
 				}

@@ -11,6 +11,7 @@
 package ipra_test
 
 import (
+	"context"
 	"testing"
 
 	"ipra"
@@ -38,7 +39,7 @@ func sourcesOf(b *testing.B, bm benchprogs.Benchmark) []ipra.Source {
 func measureCell(b *testing.B, bm benchprogs.Benchmark, cfg ipra.Config) (cycleImp, singletonRed float64) {
 	b.Helper()
 	sources := sourcesOf(b, bm)
-	base, err := ipra.Compile(sources, ipra.Level2())
+	base, err := ipra.Build(context.Background(), sources, ipra.Level2())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -46,12 +47,11 @@ func measureCell(b *testing.B, bm benchprogs.Benchmark, cfg ipra.Config) (cycleI
 	if err != nil {
 		b.Fatal(err)
 	}
-	var p *ipra.Program
+	var opts []ipra.BuildOption
 	if cfg.WantProfile {
-		p, _, err = ipra.CompileProfiled(sources, cfg, bm.MaxInstrs)
-	} else {
-		p, err = ipra.Compile(sources, cfg)
+		opts = append(opts, ipra.WithProfile(bm.MaxInstrs))
 	}
+	p, err := ipra.Build(context.Background(), sources, cfg, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func BenchmarkWebCensus(b *testing.B) {
 	}
 	var stats core.Stats
 	for i := 0; i < b.N; i++ {
-		p, err := ipra.Compile(sources, ipra.ConfigC())
+		p, err := ipra.Build(context.Background(), sources, ipra.ConfigC())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +169,7 @@ func BenchmarkCompile(b *testing.B) {
 	sources := sourcesOf(b, bm)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := ipra.Compile(sources, ipra.ConfigC()); err != nil {
+		if _, err := ipra.Build(context.Background(), sources, ipra.ConfigC()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -194,10 +194,11 @@ func benchCompileSuite(b *testing.B, suiteJobs, moduleJobs int) {
 	cfg := ipra.ConfigC()
 	cfg.Jobs = moduleJobs
 	cfg.DisableCache = true
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		err := pipeline.ForEach(suiteJobs, len(suite), func(j int) error {
-			_, err := ipra.Compile(suite[j], cfg)
+			_, err := ipra.Build(context.Background(), suite[j], cfg)
 			return err
 		})
 		if err != nil {
@@ -225,14 +226,14 @@ func BenchmarkCompileCached(b *testing.B) {
 	ipra.ResetPhase1Cache()
 	cfg := ipra.ConfigC()
 	for _, sources := range suite {
-		if _, err := ipra.Compile(sources, cfg); err != nil {
+		if _, err := ipra.Build(context.Background(), sources, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, sources := range suite {
-			if _, err := ipra.Compile(sources, cfg); err != nil {
+			if _, err := ipra.Build(context.Background(), sources, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -247,14 +248,14 @@ func BenchmarkAnalyzer(b *testing.B) {
 	for _, m := range mods {
 		sources = append(sources, ipra.Source{Name: m.Name, Text: []byte(m.Text)})
 	}
-	p, err := ipra.Compile(sources, ipra.Level2())
+	p, err := ipra.Build(context.Background(), sources, ipra.Level2())
 	if err != nil {
 		b.Fatal(err)
 	}
 	sums := p.Summaries
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(sums, core.DefaultOptions()); err != nil {
+		if _, err := core.Analyze(context.Background(), sums, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -267,7 +268,7 @@ func BenchmarkVM(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := ipra.Compile(sourcesOf(b, bm), ipra.ConfigC())
+	p, err := ipra.Build(context.Background(), sourcesOf(b, bm), ipra.ConfigC())
 	if err != nil {
 		b.Fatal(err)
 	}

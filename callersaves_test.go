@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"testing"
 )
 
@@ -88,7 +89,7 @@ int tiny(int x) { return x + 1; }
 int rec(int n) { if (n <= 0) { return 0; } return rec(n - 1) + tiny(n); }
 int main() { return rec(5); }
 `)}}
-	p, err := Compile(sources, withCallerSaves())
+	p, err := Build(context.Background(), sources, withCallerSaves())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ int main() { return rec(5); }
 func TestCallerSavesDifferential(t *testing.T) {
 	for _, seed := range []int64{21, 22, 23, 24} {
 		sources := genSources(seed)
-		base, err := Compile(sources, Level2())
+		base, err := Build(context.Background(), sources, Level2())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func TestCallerSavesDifferential(t *testing.T) {
 			cfg := mk()
 			cfg.Analyzer.CallerSavesPreallocation = true
 			cfg.Name += "+cs"
-			p, err := Compile(sources, cfg)
+			p, err := Build(context.Background(), sources, cfg)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, cfg.Name, err)
 			}

@@ -16,14 +16,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
+	"ipra/internal/cliutil"
 	"ipra/internal/core"
 	"ipra/internal/parv"
 	"ipra/internal/pdb"
@@ -42,43 +42,19 @@ func main() {
 		partial     = flag.Bool("partial", false, "partial call graph: assume unknown external callers (§7.2)")
 		mergeWebs   = flag.Bool("merge-webs", false, "re-merge webs through common dominators (§7.6.1)")
 		callerSaves = flag.Bool("caller-saves", false, "banded caller-saves preallocation (§7.6.2)")
-		verbose     = flag.Bool("v", false, "print the analysis report")
 		synth       = flag.String("synth", "", "analyze a synthesized program instead of summary files ("+strings.Join(progen.PresetNames(), ", ")+")")
-		jobs        = flag.Int("j", 0, "analyzer parallelism (0 = one worker per CPU, 1 = sequential)")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
-		memProf     = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
+	common := cliutil.New("ipra-analyze")
+	common.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 && *synth == "" {
 		fmt.Fprintln(os.Stderr, "ipra-analyze: no summary files (or use -synth <preset>)")
 		os.Exit(2)
 	}
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	if err := common.Start(); err != nil {
+		fatal(err)
 	}
-	if *memProf != "" {
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
-		}()
-	}
+	ctx := common.Context(context.Background())
 
 	opt := core.DefaultOptions()
 	opt.SpillMotion = *spillMotion
@@ -87,7 +63,7 @@ func main() {
 	opt.PartialProgram = *partial
 	opt.MergeWebs = *mergeWebs
 	opt.CallerSavesPreallocation = *callerSaves
-	opt.Jobs = *jobs
+	opt.Jobs = common.Jobs
 	switch *promotion {
 	case "none":
 		opt.Promotion = core.PromoteNone
@@ -130,23 +106,25 @@ func main() {
 		sums = append(sums, ms)
 	}
 
-	res, err := core.Analyze(sums, opt)
+	res, err := core.Analyze(ctx, sums, opt)
 	if err != nil {
 		fatal(err)
 	}
 	if err := pdb.WriteFile(*out, res.DB); err != nil {
 		fatal(err)
 	}
-	if *verbose {
+	if common.Verbose {
 		fmt.Print(res.Report())
+	}
+	if err := common.Finish(); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("ipra-analyze: %d summaries -> %s (%d procedures)\n",
 		len(sums), *out, len(res.DB.Procs))
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "ipra-analyze: %v\n", err)
-	os.Exit(1)
+	cliutil.Fatal("ipra-analyze", err)
 }
 
 // profileFile is the on-disk profile format shared with mvm.

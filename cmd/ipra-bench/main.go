@@ -9,15 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
-	"ipra"
 	"ipra/internal/bench"
 	"ipra/internal/census"
+	"ipra/internal/cliutil"
 )
 
 func main() {
@@ -26,78 +25,57 @@ func main() {
 		raw      = flag.Bool("raw", false, "print absolute counter values")
 		webstats = flag.Bool("webstats", false, "print the §6.2 web census on a generated large program")
 		only     = flag.String("bench", "", "run a single benchmark")
-		jobs     = flag.Int("j", 0, "parallel jobs for the sweep and compiler (0 = one per CPU, 1 = sequential)")
-		verbose  = flag.Bool("v", false, "print phase-1 cache statistics after the sweep")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
+	common := cliutil.New("ipra-bench")
+	common.Register(flag.CommandLine)
 	flag.Parse()
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	if err := common.Start(); err != nil {
+		fatal(err)
 	}
-	if *memProf != "" {
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
-		}()
-	}
-	if *verbose {
-		defer func() {
-			s := ipra.Phase1CacheStats()
-			fmt.Fprintf(os.Stderr, "ipra-bench: phase-1 cache: %d hits, %d misses, %d evictions, %d entries\n",
-				s.Hits, s.Misses, s.Evictions, s.Entries)
-		}()
-	}
+	ctx := common.Context(context.Background())
 
-	if *webstats {
-		if err := census.Print(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
+	err := run(ctx, common, *table, *raw, *webstats, *only)
+	if common.Verbose {
+		common.CacheStats(os.Stderr)
 	}
-
-	opt := bench.Options{Jobs: *jobs}
-	if *only != "" {
-		opt.Benchmarks = []string{*only}
+	if ferr := common.Finish(); err == nil {
+		err = ferr
 	}
-	rows, err := bench.RunAll(opt)
 	if err != nil {
 		fatal(err)
 	}
-	if *raw {
+}
+
+func run(ctx context.Context, common *cliutil.Common, table int, raw, webstats bool, only string) error {
+	if webstats {
+		return census.Print(ctx, os.Stdout)
+	}
+
+	opt := bench.Options{Jobs: common.Jobs}
+	if only != "" {
+		opt.Benchmarks = []string{only}
+	}
+	rows, err := bench.RunAll(ctx, opt)
+	if err != nil {
+		return err
+	}
+	if raw {
 		for _, r := range rows {
 			bench.WriteRaw(os.Stdout, r)
 			fmt.Println()
 		}
-		return
+		return nil
 	}
-	if *table == 0 || *table == 4 {
+	if table == 0 || table == 4 {
 		bench.WriteTable4(os.Stdout, rows)
 		fmt.Println()
 	}
-	if *table == 0 || *table == 5 {
+	if table == 0 || table == 5 {
 		bench.WriteTable5(os.Stdout, rows)
 	}
+	return nil
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "ipra-bench: %v\n", err)
-	os.Exit(1)
+	cliutil.Fatal("ipra-bench", err)
 }

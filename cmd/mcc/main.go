@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"ipra"
+	"ipra/internal/cliutil"
 	"ipra/internal/codegen"
 	"ipra/internal/ir"
 	"ipra/internal/opt"
@@ -51,33 +53,37 @@ func main() {
 		configName  = flag.String("config", "C", "incremental configuration: L2 or Table 4 column A-F")
 		trainInstrs = flag.Uint64("train-instrs", 100_000_000, "instruction budget for the training run of profiled configurations (B, F)")
 		explain     = flag.Bool("explain", false, "print why each module was or wasn't rebuilt (incremental mode)")
-		jobs        = flag.Int("j", 0, "compile modules in parallel (0 = one job per CPU, 1 = sequential)")
-		verbose     = flag.Bool("v", false, "print phase-1 cache statistics")
 	)
+	common := cliutil.New("mcc")
+	common.Register(flag.CommandLine)
 	flag.Parse()
+	if err := common.Start(); err != nil {
+		common.Fatal(err)
+	}
+	ctx := common.Context(context.Background())
 
 	var err error
 	switch {
 	case *phase1:
-		err = runPhase1(flag.Args(), *outDir, *jobs)
+		err = runPhase1(flag.Args(), *outDir, common.Jobs)
 	case *phase2:
-		err = runPhase2(flag.Args(), *pdbPath, *outDir, *jobs)
+		err = runPhase2(flag.Args(), *pdbPath, *outDir, common.Jobs)
 	case *link != "":
 		err = runLink(flag.Args(), *link)
 	case *incremental:
-		err = runIncremental(flag.Args(), *buildDir, *exeOut, *configName, *trainInstrs, *jobs, *explain)
+		err = runIncremental(ctx, flag.Args(), *buildDir, *exeOut, *configName, *trainInstrs, common.Jobs, *explain)
 	default:
 		fmt.Fprintln(os.Stderr, "mcc: specify -phase1, -phase2, -link, or -incremental (see -help)")
 		os.Exit(2)
 	}
-	if *verbose {
-		s := ipra.Phase1CacheStats()
-		fmt.Fprintf(os.Stderr, "mcc: phase-1 cache: %d hits, %d misses, %d evictions, %d entries\n",
-			s.Hits, s.Misses, s.Evictions, s.Entries)
+	if common.Verbose {
+		common.CacheStats(os.Stderr)
+	}
+	if ferr := common.Finish(); err == nil {
+		err = ferr
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
-		os.Exit(1)
+		common.Fatal(err)
 	}
 }
 
@@ -198,11 +204,11 @@ func runLink(files []string, out string) error {
 // program analyzer, and the link in one command, backed by the persistent
 // build directory. Profiled configurations (B, F) run their training pass
 // against a "train" subdirectory, so repeat builds skip it too.
-func runIncremental(files []string, buildDir, exeOut, configName string, trainInstrs uint64, jobs int, explain bool) error {
+func runIncremental(ctx context.Context, files []string, buildDir, exeOut, configName string, trainInstrs uint64, jobs int, explain bool) error {
 	if len(files) == 0 {
 		return fmt.Errorf("incremental: no source files")
 	}
-	cfg, err := configByName(configName)
+	cfg, err := ipra.PresetByName(configName)
 	if err != nil {
 		return err
 	}
@@ -217,16 +223,14 @@ func runIncremental(files []string, buildDir, exeOut, configName string, trainIn
 		sources[i] = ipra.Source{Name: filepath.Base(f), Text: text}
 	}
 
-	opts := ipra.IncrementalOptions{BuildDir: buildDir}
+	opts := []ipra.BuildOption{ipra.WithBuildDir(buildDir)}
 	if explain {
-		opts.Explain = os.Stderr
+		opts = append(opts, ipra.WithStderr(os.Stderr))
 	}
-	var p *ipra.Program
 	if cfg.WantProfile {
-		p, _, _, err = ipra.CompileProfiledIncremental(sources, cfg, trainInstrs, opts)
-	} else {
-		p, _, err = ipra.CompileIncremental(sources, cfg, opts)
+		opts = append(opts, ipra.WithProfile(trainInstrs))
 	}
+	res, err := ipra.Build(ctx, sources, cfg, opts...)
 	if err != nil {
 		return err
 	}
@@ -234,23 +238,10 @@ func runIncremental(files []string, buildDir, exeOut, configName string, trainIn
 	if exeOut == "" {
 		exeOut = filepath.Join(buildDir, "program.exe")
 	}
-	if err := parv.WriteExecutableFile(exeOut, p.Exe); err != nil {
+	if err := parv.WriteExecutableFile(exeOut, res.Exe); err != nil {
 		return err
 	}
 	fmt.Printf("mcc: %d modules -> %s (%d instructions, config %s)\n",
-		len(sources), exeOut, len(p.Exe.Code), cfg.Name)
+		len(sources), exeOut, len(res.Exe.Code), cfg.Name)
 	return nil
-}
-
-// configByName maps the CLI names onto the library's configuration sweep.
-func configByName(name string) (ipra.Config, error) {
-	if strings.EqualFold(name, "L2") {
-		return ipra.Level2(), nil
-	}
-	for _, c := range ipra.Configs() {
-		if strings.EqualFold(c.Name, name) {
-			return c, nil
-		}
-	}
-	return ipra.Config{}, fmt.Errorf("unknown configuration %q (want L2 or A-F)", name)
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"ipra/internal/cliutil"
 	"ipra/internal/parv"
 )
 
@@ -63,8 +64,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "mvm: %v\n", err)
-	os.Exit(1)
+	cliutil.Fatal("mvm", err)
 }
 
 type profileEdge struct {

@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestDebugDump(t *testing.T) {
 	if os.Getenv("IPRA_DEBUG") == "" {
 		t.Skip("set IPRA_DEBUG=1 to dump")
 	}
-	p, err := Compile([]Source{src("main.mc", `
+	p, err := Build(context.Background(), []Source{src("main.mc", `
 int add(int a, int b) { return a + b; }
 int main() {
 	int x = 3;

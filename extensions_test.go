@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"testing"
 )
 
@@ -45,7 +46,7 @@ int main() {
 // them) while statics still are, and the compiled code stays correct.
 func TestPartialCallGraphConservative(t *testing.T) {
 	full := ConfigC()
-	fullProg, err := Compile(libSources(), full)
+	fullProg, err := Build(context.Background(), libSources(), full)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestPartialCallGraphConservative(t *testing.T) {
 
 	partial := ConfigC()
 	partial.Analyzer.PartialProgram = true
-	partialProg, err := Compile(libSources(), partial)
+	partialProg, err := Build(context.Background(), libSources(), partial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ int main() {
 `)}}
 
 	plain := ConfigC()
-	p1, err := Compile(sources, plain)
+	p1, err := Build(context.Background(), sources, plain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ int main() {
 
 	merged := ConfigC()
 	merged.Analyzer.MergeWebs = true
-	p2, err := Compile(sources, merged)
+	p2, err := Build(context.Background(), sources, merged)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func runDifferentialWithConfig(t *testing.T, cfg Config) {
 	t.Helper()
 	for _, seed := range []int64{11, 12, 13} {
 		sources := genSources(seed)
-		base, err := Compile(sources, Level2())
+		base, err := Build(context.Background(), sources, Level2())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func runDifferentialWithConfig(t *testing.T, cfg Config) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := Compile(sources, cfg)
+		p, err := Build(context.Background(), sources, cfg)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestDifferentialGeneratedPrograms(t *testing.T) {
 				sources = append(sources, Source{Name: m.Name, Text: []byte(m.Text)})
 			}
 
-			base, err := Compile(sources, Level2())
+			base, err := Build(context.Background(), sources, Level2())
 			if err != nil {
 				t.Fatalf("L2 compile: %v", err)
 			}
@@ -49,12 +50,11 @@ func TestDifferentialGeneratedPrograms(t *testing.T) {
 			}
 
 			for _, c := range Configs() {
-				var p *Program
+				var opts []BuildOption
 				if c.WantProfile {
-					p, _, err = CompileProfiled(sources, c, 100_000_000)
-				} else {
-					p, err = Compile(sources, c)
+					opts = append(opts, WithProfile(100_000_000))
 				}
+				p, err := Build(context.Background(), sources, c, opts...)
 				if err != nil {
 					t.Fatalf("%s compile: %v", c.Name, err)
 				}

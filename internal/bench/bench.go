@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -67,7 +68,7 @@ type Options struct {
 // RunBenchmark measures one benchmark under the baseline and every
 // configuration, fanning the configuration cells across jobs workers
 // (the L2 baseline is measured first: every cell normalizes against it).
-func RunBenchmark(b benchprogs.Benchmark, jobs int) (*Row, error) {
+func RunBenchmark(ctx context.Context, b benchprogs.Benchmark, jobs int) (*Row, error) {
 	files, err := b.Sources()
 	if err != nil {
 		return nil, err
@@ -79,14 +80,14 @@ func RunBenchmark(b benchprogs.Benchmark, jobs int) (*Row, error) {
 
 	row := &Row{Benchmark: b.Name, Description: b.Description}
 
-	base, err := measure(sources, withJobs(ipra.Level2(), jobs), b.MaxInstrs)
+	base, err := measure(ctx, sources, withJobs(ipra.Level2(), jobs), b.MaxInstrs)
 	if err != nil {
 		return nil, fmt.Errorf("%s/L2: %w", b.Name, err)
 	}
 	row.Baseline = *base
 
-	cells, err := pipeline.Map(jobs, ipra.Configs(), func(_ int, cfg ipra.Config) (Cell, error) {
-		cell, err := measure(sources, withJobs(cfg, jobs), b.MaxInstrs)
+	cells, err := pipeline.MapCtx(ctx, jobs, ipra.Configs(), func(ctx context.Context, _ int, cfg ipra.Config) (Cell, error) {
+		cell, err := measure(ctx, sources, withJobs(cfg, jobs), b.MaxInstrs)
 		if err != nil {
 			return Cell{}, fmt.Errorf("%s/%s: %w", b.Name, cfg.Name, err)
 		}
@@ -112,14 +113,12 @@ func withJobs(cfg ipra.Config, jobs int) ipra.Config {
 	return cfg
 }
 
-func measure(sources []ipra.Source, cfg ipra.Config, maxInstrs uint64) (*Cell, error) {
-	var p *ipra.Program
-	var err error
+func measure(ctx context.Context, sources []ipra.Source, cfg ipra.Config, maxInstrs uint64) (*Cell, error) {
+	var opts []ipra.BuildOption
 	if cfg.WantProfile {
-		p, _, err = ipra.CompileProfiled(sources, cfg, maxInstrs)
-	} else {
-		p, err = ipra.Compile(sources, cfg)
+		opts = append(opts, ipra.WithProfile(maxInstrs))
 	}
+	p, err := ipra.Build(ctx, sources, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -148,16 +147,23 @@ func pctImprovement(base, v uint64) float64 {
 // RunAll measures the whole suite, fanning the benchmarks across
 // opt.Jobs workers. Rows come back in suite (Table 3) order regardless
 // of completion order.
-func RunAll(opt Options) ([]*Row, error) {
+func RunAll(ctx context.Context, opt Options) ([]*Row, error) {
 	var selected []benchprogs.Benchmark
+	var names []string
 	for _, b := range benchprogs.All() {
+		names = append(names, b.Name)
 		if len(opt.Benchmarks) > 0 && !contains(opt.Benchmarks, b.Name) {
 			continue
 		}
 		selected = append(selected, b)
 	}
-	return pipeline.Map(opt.Jobs, selected, func(_ int, b benchprogs.Benchmark) (*Row, error) {
-		return RunBenchmark(b, opt.Jobs)
+	for _, want := range opt.Benchmarks {
+		if !contains(names, want) {
+			return nil, fmt.Errorf("unknown benchmark %q (valid: %s)", want, strings.Join(names, ", "))
+		}
+	}
+	return pipeline.MapCtx(ctx, opt.Jobs, selected, func(ctx context.Context, _ int, b benchprogs.Benchmark) (*Row, error) {
+		return RunBenchmark(ctx, b, opt.Jobs)
 	})
 }
 

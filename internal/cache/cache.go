@@ -25,6 +25,7 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
@@ -35,6 +36,7 @@ import (
 
 	"ipra/internal/ir"
 	"ipra/internal/summary"
+	"ipra/internal/telemetry"
 )
 
 // Key identifies one module's phase-1 artifacts by content.
@@ -219,12 +221,41 @@ func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
 	return m, ms, true
 }
 
+// GetCtx is Get with the build's telemetry threaded through: hits and
+// misses land on the context's tracer as cache.hits / cache.misses (the
+// process-wide Stats counters tick regardless).
+func (c *Cache) GetCtx(ctx context.Context, k Key) (*ir.Module, *summary.ModuleSummary, bool) {
+	m, ms, ok := c.Get(k)
+	if ok {
+		telemetry.Count(ctx, "cache.hits", 1)
+	} else {
+		telemetry.Count(ctx, "cache.misses", 1)
+	}
+	return m, ms, ok
+}
+
 // Put stores the module and summary under k. The values are encoded
 // immediately, so the caller remains free to mutate its copies afterward.
 func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
+	_, err := c.put(k, m, ms)
+	return err
+}
+
+// PutCtx is Put with the build's telemetry threaded through: evictions
+// this insertion forced land on the context's tracer as cache.evictions.
+func (c *Cache) PutCtx(ctx context.Context, k Key, m *ir.Module, ms *summary.ModuleSummary) error {
+	evicted, err := c.put(k, m, ms)
+	if evicted > 0 {
+		telemetry.Count(ctx, "cache.evictions", evicted)
+	}
+	return err
+}
+
+// put inserts the entry and returns how many victims were evicted.
+func (c *Cache) put(k Key, m *ir.Module, ms *summary.ModuleSummary) (evicted int64, err error) {
 	data, err := EncodeEntry(m, ms)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -232,7 +263,7 @@ func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
 		e.data = data
 		c.unlink(e)
 		c.pushFront(e)
-		return nil
+		return 0, nil
 	}
 	e := &entry{key: k, data: data}
 	c.entries[k] = e
@@ -242,8 +273,9 @@ func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
 		c.unlink(victim)
 		delete(c.entries, victim.key)
 		c.evictions.Add(1)
+		evicted++
 	}
-	return nil
+	return evicted, nil
 }
 
 // Stats returns a snapshot of the traffic counters. It is safe to call

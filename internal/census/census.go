@@ -12,6 +12,7 @@
 package census
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,7 +37,7 @@ type Result struct {
 }
 
 // Run generates the large program and analyzes it.
-func Run(cfg progen.Config) (*Result, error) {
+func Run(ctx context.Context, cfg progen.Config) (*Result, error) {
 	mods := progen.Generate(cfg)
 	var sources []ipra.Source
 	for _, m := range mods {
@@ -44,7 +45,7 @@ func Run(cfg progen.Config) (*Result, error) {
 	}
 
 	// Behavioural check under the two extremes.
-	l2, err := ipra.Compile(sources, ipra.Level2())
+	l2, err := ipra.Build(ctx, sources, ipra.Level2())
 	if err != nil {
 		return nil, fmt.Errorf("census: L2 compile: %w", err)
 	}
@@ -52,7 +53,7 @@ func Run(cfg progen.Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("census: L2 run: %w", err)
 	}
-	pc, err := ipra.Compile(sources, ipra.ConfigC())
+	pc, err := ipra.Build(ctx, sources, ipra.ConfigC())
 	if err != nil {
 		return nil, fmt.Errorf("census: C compile: %w", err)
 	}
@@ -76,7 +77,7 @@ func Run(cfg progen.Config) (*Result, error) {
 	// Greedy coloring count.
 	gopt := core.DefaultOptions()
 	gopt.Promotion = core.PromoteGreedy
-	gres, err := core.Analyze(pc.Summaries, gopt)
+	gres, err := core.Analyze(ctx, pc.Summaries, gopt)
 	if err != nil {
 		return nil, fmt.Errorf("census: greedy analysis: %w", err)
 	}
@@ -85,8 +86,8 @@ func Run(cfg progen.Config) (*Result, error) {
 }
 
 // Print runs the default census and renders it.
-func Print(w io.Writer) error {
-	res, err := Run(progen.DefaultCensusConfig())
+func Print(ctx context.Context, w io.Writer) error {
+	res, err := Run(ctx, progen.DefaultCensusConfig())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,157 @@
+// Package cliutil holds the flag handling shared by the repo's command
+// drivers (mcc, ipra-bench, ipra-analyze, mvm): parallelism (-j), verbose
+// diagnostics (-v), pprof capture (-cpuprofile, -memprofile), and build
+// telemetry (-trace, -report). Each tool registers one Common on its flag
+// set, calls Start after parsing, threads Context into the library, and
+// calls Finish on the way out; the artifacts land wherever the flags
+// pointed without any per-tool plumbing.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"ipra"
+	"ipra/internal/telemetry"
+)
+
+// Common is the shared flag block of one command invocation.
+type Common struct {
+	// Jobs is the -j value: 0 = one worker per CPU, 1 = sequential.
+	Jobs int
+	// Verbose is the -v value; each tool decides what extra output it
+	// unlocks (cache statistics, analysis reports, ...).
+	Verbose bool
+
+	tool       string
+	cpuProf    string
+	memProf    string
+	tracePath  string
+	reportPath string
+
+	tracer  *telemetry.Tracer
+	cpuFile *os.File
+}
+
+// New returns a Common labelled with the tool name (used in error
+// messages).
+func New(tool string) *Common { return &Common{tool: tool} }
+
+// Register installs the shared flags on fs.
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.IntVar(&c.Jobs, "j", 0, "parallel jobs (0 = one per CPU, 1 = sequential)")
+	fs.BoolVar(&c.Verbose, "v", false, "verbose diagnostic output")
+	fs.StringVar(&c.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&c.memProf, "memprofile", "", "write a heap profile at exit to this file")
+	fs.StringVar(&c.tracePath, "trace", "", "write a Chrome trace-event JSON build trace to this file (chrome://tracing, Perfetto)")
+	fs.StringVar(&c.reportPath, "report", "", "write a machine-readable JSON build report to this file")
+}
+
+// Start begins whatever the parsed flags requested up front: the CPU
+// profile, and the telemetry tracer when -trace or -report was given.
+// Pair it with Finish.
+func (c *Common) Start() error {
+	if c.tracePath != "" || c.reportPath != "" {
+		c.tracer = telemetry.New()
+	}
+	if c.cpuProf != "" {
+		f, err := os.Create(c.cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		c.cpuFile = f
+	}
+	return nil
+}
+
+// Tracer returns the run's tracer, nil unless -trace or -report was
+// given.
+func (c *Common) Tracer() *telemetry.Tracer { return c.tracer }
+
+// Context attaches the run's tracer (if any) to parent. Library calls
+// made with the returned context record spans and counters; without
+// -trace/-report it returns parent unchanged.
+func (c *Common) Context(parent context.Context) context.Context {
+	if c.tracer == nil {
+		return parent
+	}
+	return telemetry.WithTracer(parent, c.tracer)
+}
+
+// Finish writes everything the parsed flags requested at exit: it stops
+// the CPU profile, captures the heap profile, and exports the telemetry
+// trace and report. Safe to call when none were requested.
+func (c *Common) Finish() error {
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		c.cpuFile.Close()
+		c.cpuFile = nil
+	}
+	if c.memProf != "" {
+		f, err := os.Create(c.memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		werr := pprof.WriteHeapProfile(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	if c.tracePath != "" {
+		if err := writeFileWith(c.tracePath, c.tracer.WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if c.reportPath != "" {
+		if err := writeFileWith(c.reportPath, c.tracer.Report().WriteJSON); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFileWith streams one export function into a freshly created file.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// CacheStats prints the process-wide phase-1 cache counters to w, the
+// shared -v footer of the compile-driving tools.
+func (c *Common) CacheStats(w io.Writer) {
+	s := ipra.Phase1CacheStats()
+	fmt.Fprintf(w, "%s: phase-1 cache: %d hits, %d misses, %d evictions, %d entries\n",
+		c.tool, s.Hits, s.Misses, s.Evictions, s.Entries)
+}
+
+// Fatal prints the error prefixed with the tool name and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Fatal prints the error prefixed with this Common's tool name and
+// exits 1.
+func (c *Common) Fatal(err error) { Fatal(c.tool, err) }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"ipra/internal/refsets"
 	"ipra/internal/regs"
 	"ipra/internal/summary"
+	"ipra/internal/telemetry"
 	"ipra/internal/webs"
 )
 
@@ -134,10 +136,20 @@ type Result struct {
 	Stats    Stats
 }
 
-// Analyze runs the program analyzer over the given summary files.
-func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
+// Analyze runs the program analyzer over the given summary files. The
+// context carries cancellation-free telemetry only: when a tracer is
+// attached, each analyzer stage (callgraph, refsets, webs, coloring,
+// clusters, directives) runs under its own span and the web/cluster
+// totals land on the tracer's counters.
+func Analyze(ctx context.Context, summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
+	ctx, span := telemetry.StartSpan(ctx, "analyze")
+	defer span.End()
+	span.SetInt("modules", int64(len(summaries)))
+
+	_, cgSpan := telemetry.StartSpan(ctx, "callgraph")
 	g, err := callgraph.Build(summaries)
 	if err != nil {
+		cgSpan.End()
 		return nil, err
 	}
 	if opt.PartialProgram {
@@ -148,15 +160,22 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 	} else {
 		g.EstimateCounts()
 	}
+	cgSpan.SetInt("nodes", int64(len(g.Nodes)))
+	cgSpan.SetInt("starts", int64(len(g.Starts)))
+	cgSpan.End()
 
 	res := &Result{Graph: g, DB: pdb.New()}
 
 	// ---- Global variable promotion (§4.1).
+	_, rsSpan := telemetry.StartSpan(ctx, "refsets")
 	eligible := refsets.EligibleGlobals(g)
 	res.Sets = refsets.Compute(g, eligible)
 	res.Stats.EligibleGlobals = len(eligible)
 	res.DB.EligibleGlobals = eligible
+	rsSpan.SetInt("eligible", int64(len(eligible)))
+	rsSpan.End()
 
+	_, webSpan := telemetry.StartSpan(ctx, "webs")
 	allWebs := webs.IdentifyJobs(g, res.Sets, opt.Jobs)
 	webs.ComputePriorities(g, res.Sets, allWebs)
 	if opt.MergeWebs {
@@ -176,12 +195,17 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 			res.Stats.WebsConsidered++
 		}
 	}
+	webSpan.SetInt("found", int64(res.Stats.WebsFound))
+	webSpan.SetInt("considered", int64(res.Stats.WebsConsidered))
+	webSpan.End()
 
 	// Registers for webs are taken from the top of the callee-saves set
 	// (the cluster preallocation fills from the bottom, minimizing
 	// contention).
 	webReg := func(color int) uint8 { return uint8(parv.CalleeSavedLast - color) }
 
+	_, colSpan := telemetry.StartSpan(ctx, "coloring")
+	colSpan.SetStr("mode", opt.Promotion.String())
 	var active []*webs.Web
 	switch opt.Promotion {
 	case PromoteColoring:
@@ -221,6 +245,8 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 		active = res.Blankets
 		res.Stats.WebsColored = len(active)
 	}
+	colSpan.SetInt("colored", int64(res.Stats.WebsColored))
+	colSpan.End()
 
 	// promotedAt[n] is the register set reserved at node n for webs.
 	promotedAt := make(map[int]regs.Set)
@@ -234,6 +260,7 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 	// ---- Spill code motion (§4.2).
 	var asn *clusters.Assignment
 	if opt.SpillMotion {
+		_, clSpan := telemetry.StartSpan(ctx, "clusters")
 		if opt.Cluster.RootBias == 0 {
 			opt.Cluster = clusters.DefaultOptions()
 		}
@@ -244,9 +271,13 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 		})
 		res.Stats.Clusters = len(res.Clusters.Clusters)
 		res.Stats.AvgClusterSize = res.Clusters.AverageSize()
+		clSpan.SetInt("clusters", int64(res.Stats.Clusters))
+		clSpan.End()
 	}
 
 	// ---- Assemble the program database.
+	_, dbSpan := telemetry.StartSpan(ctx, "directives")
+	defer dbSpan.End()
 	needStore := webNeedsStore(g, active)
 	for _, nd := range g.Nodes {
 		if nd.Rec == nil {
@@ -293,6 +324,9 @@ func Analyze(summaries []*summary.ModuleSummary, opt Options) (*Result, error) {
 	if opt.CallerSavesPreallocation {
 		computeCallClobbers(g, res.DB)
 	}
+	telemetry.Count(ctx, "analyzer.webs", int64(res.Stats.WebsFound))
+	telemetry.Count(ctx, "analyzer.webs_colored", int64(res.Stats.WebsColored))
+	telemetry.Count(ctx, "analyzer.clusters", int64(res.Stats.Clusters))
 	return res, nil
 }
 

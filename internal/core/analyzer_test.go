@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func twoModuleProgram() []*summary.ModuleSummary {
 }
 
 func TestAnalyzeColoring(t *testing.T) {
-	res, err := core.Analyze(twoModuleProgram(), core.DefaultOptions())
+	res, err := core.Analyze(context.Background(), twoModuleProgram(), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestStaticCrossModuleWebDiscarded(t *testing.T) {
 			},
 		},
 	}
-	res, err := core.Analyze(sums, core.DefaultOptions())
+	res, err := core.Analyze(context.Background(), sums, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestStaticCrossModuleWebDiscarded(t *testing.T) {
 func TestAnalyzeSpillMotionOnly(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteNone
-	res, err := core.Analyze(twoModuleProgram(), o)
+	res, err := core.Analyze(context.Background(), twoModuleProgram(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestAnalyzeBlanket(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteBlanket
 	o.BlanketCount = 1
-	res, err := core.Analyze(twoModuleProgram(), o)
+	res, err := core.Analyze(context.Background(), twoModuleProgram(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestAnalyzeBlanket(t *testing.T) {
 }
 
 func TestReportMentionsEverything(t *testing.T) {
-	res, err := core.Analyze(twoModuleProgram(), core.DefaultOptions())
+	res, err := core.Analyze(context.Background(), twoModuleProgram(), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

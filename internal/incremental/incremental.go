@@ -27,6 +27,7 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -38,6 +39,7 @@ import (
 	"ipra/internal/pdb"
 	"ipra/internal/pipeline"
 	"ipra/internal/summary"
+	"ipra/internal/telemetry"
 )
 
 // Source is one module's name and source text.
@@ -57,16 +59,16 @@ type Toolchain struct {
 	// discarded wholesale.
 	Fingerprint string
 	// Phase1 parses, checks, and lowers one module, returning the IR and
-	// its summary record.
-	Phase1 func(name string, text []byte) (*ir.Module, *summary.ModuleSummary, error)
+	// its summary record. The context carries the build's telemetry.
+	Phase1 func(ctx context.Context, name string, text []byte) (*ir.Module, *summary.ModuleSummary, error)
 	// Analyze runs the program analyzer over the merged summary set.
-	Analyze func(sums []*summary.ModuleSummary) (*pdb.Database, error)
+	Analyze func(ctx context.Context, sums []*summary.ModuleSummary) (*pdb.Database, error)
 	// Phase2 returns the per-module second-phase compiler for a database
 	// (the closure lets the caller precompute database-wide state, e.g.
 	// the eligibility set, once per build).
-	Phase2 func(db *pdb.Database) func(m *ir.Module) (*parv.Object, error)
+	Phase2 func(ctx context.Context, db *pdb.Database) func(ctx context.Context, m *ir.Module) (*parv.Object, error)
 	// Link binds the objects, in module order.
-	Link func(objs []*parv.Object) (*parv.Executable, error)
+	Link func(ctx context.Context, objs []*parv.Object) (*parv.Executable, error)
 }
 
 // Options control one Build.
@@ -106,7 +108,18 @@ type Outcome struct {
 // Build runs a minimal rebuild of sources against the build directory,
 // updating the stored state on success. On error the store is left
 // untouched, so a failed build never poisons later ones.
-func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, error) {
+//
+// The context carries the build's telemetry: each stage runs under its
+// own span, every invalidation decision is recorded as an instant event
+// naming the module and the reason, and the rebuild/reuse totals land on
+// the tracer's counters (incremental.phase1_rebuilds, ..._reused, and the
+// phase-2 pair).
+func Build(ctx context.Context, dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, error) {
+	ctx, span := telemetry.StartSpan(ctx, "incremental")
+	defer span.End()
+	span.SetStr("dir", dir)
+	span.SetInt("modules", int64(len(sources)))
+
 	seen := make(map[string]bool, len(sources))
 	for _, src := range sources {
 		if seen[src.Name] {
@@ -128,8 +141,9 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 	}
 
 	// ---- Phase 1: hash every source, recompile only changed modules.
+	p1ctx, p1Span := telemetry.StartSpan(ctx, "phase1")
 	hashes := make([]string, len(sources))
-	err = pipeline.ForEach(opts.Jobs, len(sources), func(i int) error {
+	err = pipeline.ForEachCtx(p1ctx, opts.Jobs, len(sources), func(ctx context.Context, i int) error {
 		src := sources[i]
 		out.Actions[i].Module = src.Name
 		hashes[i] = cache.SourceKey(src.Name, src.Text, tc.Fingerprint).Hex()
@@ -152,7 +166,11 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 			}
 			reason = "stored phase-1 record unreadable"
 		}
-		m, ms, err := tc.Phase1(src.Name, src.Text)
+		ev := telemetry.Event(ctx, "invalidate-phase1")
+		ev.SetStr("module", src.Name)
+		ev.SetStr("reason", reason)
+		ev.End()
+		m, ms, err := tc.Phase1(ctx, src.Name, src.Text)
 		if err != nil {
 			return fmt.Errorf("%s: %w", src.Name, err)
 		}
@@ -161,19 +179,21 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 		out.Actions[i].Phase1Reason = reason
 		return nil
 	})
+	p1Span.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// ---- Program analyzer: always re-run on the merged summary set (it
 	// needs the whole program, and costs far less than a module compile).
-	db, err := tc.Analyze(out.Summaries)
+	db, err := tc.Analyze(ctx, out.Summaries)
 	if err != nil {
 		return nil, err
 	}
 	out.DB = db
 
 	// ---- Directive diff: decide phase 2 per module.
+	dctx, diffSpan := telemetry.StartSpan(ctx, "diff")
 	eligibleHash := db.EligibleHash()
 	directives := make([]map[string]string, len(sources))
 	for i, m := range out.Modules {
@@ -196,11 +216,21 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 				a.Phase2Rebuilt, a.Phase2Reason = true, "directives changed: "+strings.Join(changed, ", ")
 			}
 		}
+		if a.Phase2Rebuilt && !a.Phase1Rebuilt {
+			// Phase-1 rebuilds already logged their decision; these are the
+			// pure directive-driven invalidations the diff discovered.
+			ev := telemetry.Event(dctx, "invalidate-phase2")
+			ev.SetStr("module", m.Name)
+			ev.SetStr("reason", a.Phase2Reason)
+			ev.End()
+		}
 	}
+	diffSpan.End()
 
 	// ---- Phase 2: recompile invalidated modules, reload the rest.
-	compile := tc.Phase2(db)
-	err = pipeline.ForEach(opts.Jobs, len(sources), func(i int) error {
+	p2ctx, p2Span := telemetry.StartSpan(ctx, "phase2")
+	compile := tc.Phase2(p2ctx, db)
+	err = pipeline.ForEachCtx(p2ctx, opts.Jobs, len(sources), func(ctx context.Context, i int) error {
 		a := &out.Actions[i]
 		if !a.Phase2Rebuilt {
 			obj, err := st.loadObject(st.prev.Modules[out.Modules[i].Name])
@@ -210,19 +240,22 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 			}
 			a.Phase2Rebuilt, a.Phase2Reason = true, "stored object unreadable"
 		}
-		obj, err := compile(out.Modules[i])
+		obj, err := compile(ctx, out.Modules[i])
 		if err != nil {
 			return fmt.Errorf("%s: %w", out.Modules[i].Name, err)
 		}
 		out.Objects[i] = obj
 		return nil
 	})
+	p2Span.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// ---- Link, always: it is whole-program and reads every object.
-	exe, err := tc.Link(out.Objects)
+	lctx, linkSpan := telemetry.StartSpan(ctx, "link")
+	exe, err := tc.Link(lctx, out.Objects)
+	linkSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +264,7 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 	// ---- Persist the new state: fresh artifacts for rebuilt modules,
 	// carried-over records for reused ones, then the manifest (atomically;
 	// unreferenced artifacts are pruned).
+	_, persistSpan := telemetry.StartSpan(ctx, "persist")
 	next := manifest{Modules: make(map[string]*moduleState, len(sources))}
 	for i, src := range sources {
 		a := out.Actions[i]
@@ -258,6 +292,7 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 	if err := st.save(next); err != nil {
 		return nil, err
 	}
+	persistSpan.End()
 
 	for _, a := range out.Actions {
 		if a.Phase1Rebuilt {
@@ -266,6 +301,14 @@ func Build(dir string, sources []Source, tc Toolchain, opts Options) (*Outcome, 
 		if a.Phase2Rebuilt {
 			out.Phase2Rebuilds++
 		}
+	}
+	n := int64(len(out.Actions))
+	telemetry.Count(ctx, "incremental.phase1_rebuilds", int64(out.Phase1Rebuilds))
+	telemetry.Count(ctx, "incremental.phase1_reused", n-int64(out.Phase1Rebuilds))
+	telemetry.Count(ctx, "incremental.phase2_rebuilds", int64(out.Phase2Rebuilds))
+	telemetry.Count(ctx, "incremental.phase2_reused", n-int64(out.Phase2Rebuilds))
+	if out.StateReset {
+		telemetry.Count(ctx, "incremental.state_resets", 1)
 	}
 	if opts.Explain != nil {
 		explain(opts.Explain, st, out)

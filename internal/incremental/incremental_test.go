@@ -2,6 +2,7 @@ package incremental
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -30,7 +31,7 @@ type fakeToolchain struct {
 func (ft *fakeToolchain) toolchain() Toolchain {
 	return Toolchain{
 		Fingerprint: "fake/v1",
-		Phase1: func(name string, text []byte) (*ir.Module, *summary.ModuleSummary, error) {
+		Phase1: func(_ context.Context, name string, text []byte) (*ir.Module, *summary.ModuleSummary, error) {
 			ft.phase1Calls.Add(1)
 			m := &ir.Module{Name: name}
 			ms := &summary.ModuleSummary{Module: name}
@@ -45,7 +46,7 @@ func (ft *fakeToolchain) toolchain() Toolchain {
 			}
 			return m, ms, nil
 		},
-		Analyze: func(sums []*summary.ModuleSummary) (*pdb.Database, error) {
+		Analyze: func(_ context.Context, sums []*summary.ModuleSummary) (*pdb.Database, error) {
 			db := pdb.New()
 			for _, s := range sums {
 				for _, p := range s.Procs {
@@ -60,8 +61,8 @@ func (ft *fakeToolchain) toolchain() Toolchain {
 			}
 			return db, nil
 		},
-		Phase2: func(db *pdb.Database) func(*ir.Module) (*parv.Object, error) {
-			return func(m *ir.Module) (*parv.Object, error) {
+		Phase2: func(_ context.Context, db *pdb.Database) func(context.Context, *ir.Module) (*parv.Object, error) {
+			return func(_ context.Context, m *ir.Module) (*parv.Object, error) {
 				ft.phase2Calls.Add(1)
 				ft.phase2Modules = append(ft.phase2Modules, m.Name)
 				o := &parv.Object{Module: m.Name}
@@ -81,7 +82,7 @@ func (ft *fakeToolchain) toolchain() Toolchain {
 				return o, nil
 			}
 		},
-		Link: func(objs []*parv.Object) (*parv.Executable, error) {
+		Link: func(_ context.Context, objs []*parv.Object) (*parv.Executable, error) {
 			exe := &parv.Executable{FuncIdx: map[string]int{}, GlobalAddr: map[string]int32{}}
 			for _, o := range objs {
 				for _, f := range o.Funcs {
@@ -97,7 +98,7 @@ func (ft *fakeToolchain) toolchain() Toolchain {
 
 func mustBuild(t *testing.T, dir string, sources []Source, tc Toolchain, opts Options) *Outcome {
 	t.Helper()
-	out, err := Build(dir, sources, tc, opts)
+	out, err := Build(context.Background(), dir, sources, tc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestModuleRemovalPrunesArtifacts(t *testing.T) {
 func TestDuplicateModuleNamesRejected(t *testing.T) {
 	srcs := []Source{{Name: "a.mc"}, {Name: "a.mc"}}
 	ft := &fakeToolchain{}
-	if _, err := Build(t.TempDir(), srcs, ft.toolchain(), Options{Jobs: 1}); err == nil {
+	if _, err := Build(context.Background(), t.TempDir(), srcs, ft.toolchain(), Options{Jobs: 1}); err == nil {
 		t.Error("duplicate module names must be rejected")
 	}
 }

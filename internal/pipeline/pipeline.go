@@ -14,9 +14,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"ipra/internal/telemetry"
 )
 
 // Workers resolves a -j style job-count request: 0 means one worker per
@@ -40,6 +43,17 @@ func Workers(j int) int {
 // parallel and sequential runs report the same failure. A panic in any
 // worker is re-raised on the calling goroutine.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachCtx is ForEach with a context threaded to every item. When the
+// context carries a telemetry tracer, each pool worker runs its items
+// under a "worker" span, so per-item spans started inside fn group by the
+// worker that executed them; without a tracer the context passes through
+// untouched and nothing is allocated for it.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -49,7 +63,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -62,8 +76,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wctx, wspan := telemetry.StartSpan(ctx, "worker")
+			wspan.SetInt("worker", int64(w))
+			defer wspan.End()
 			for i := range idx {
 				func() {
 					defer func() {
@@ -71,10 +88,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 							panics[i] = r
 						}
 					}()
-					errs[i] = fn(i)
+					errs[i] = fn(wctx, i)
 				}()
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i
@@ -98,9 +115,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // Map runs fn over every element of in on at most workers goroutines and
 // returns the results in input order. Error semantics match ForEach.
 func Map[T, R any](workers int, in []T, fn func(i int, v T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), workers, in, func(_ context.Context, i int, v T) (R, error) {
+		return fn(i, v)
+	})
+}
+
+// MapCtx is Map with a context threaded to every item (ForEachCtx
+// semantics: per-worker telemetry spans when tracing is enabled).
+func MapCtx[T, R any](ctx context.Context, workers int, in []T, fn func(ctx context.Context, i int, v T) (R, error)) ([]R, error) {
 	out := make([]R, len(in))
-	err := ForEach(workers, len(in), func(i int) error {
-		r, err := fn(i, in[i])
+	err := ForEachCtx(ctx, workers, len(in), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i, in[i])
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,159 @@
+// Chrome trace-event exporter. The output loads in chrome://tracing and
+// in Perfetto's legacy-trace importer: a {"traceEvents": [...]} object
+// whose events are complete ("X") slices for spans, instant ("i") events,
+// and counter ("C") samples, all on pid 1.
+//
+// The trace-event format nests slices per (pid, tid) track purely by
+// timestamp containment, but our spans form a tree whose siblings may
+// overlap in time (parallel per-module compiles under one phase span).
+// assignTracks therefore lays the span tree out onto virtual tids: each
+// span goes on its parent's track when it nests there without colliding
+// with a sibling, and otherwise on the lowest-numbered track where every
+// already-placed span either encloses it or ended before it starts. The
+// result is always a well-formed trace — on every track, slices are
+// properly nested — while sequential builds stay on a single track.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace-event JSON object. Timestamps and durations
+// are microseconds; they stay float64 so nanosecond-resolution nesting
+// survives the unit conversion exactly.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// assignTracks lays the finished spans out onto virtual tids so that on
+// each track, span intervals are properly nested (never partially
+// overlapping). Spans must be sorted by (start ascending, id ascending);
+// the returned slice maps span index to track.
+func assignTracks(spans []*Span) []int {
+	type track struct {
+		open []int64 // stack of end times (ns since epoch) of open spans
+	}
+	var tracks []*track
+
+	// fits reports whether s can go on tr, closing expired intervals
+	// first. Because spans arrive in start order, popping is monotonic.
+	fits := func(tr *track, startNs, endNs int64) bool {
+		for len(tr.open) > 0 && tr.open[len(tr.open)-1] <= startNs {
+			tr.open = tr.open[:len(tr.open)-1]
+		}
+		return len(tr.open) == 0 || tr.open[len(tr.open)-1] >= endNs
+	}
+
+	trackOf := make(map[int]int, len(spans)) // span id -> track
+	out := make([]int, len(spans))
+	for i, s := range spans {
+		startNs := s.start.Sub(s.tracer.epoch).Nanoseconds()
+		endNs := startNs + s.durNanos.Load()
+		if s.kind == kindInstant {
+			// Instants take no room; pin them to the parent's track.
+			if tid, ok := trackOf[s.parent]; ok {
+				out[i] = tid
+			}
+			trackOf[s.id] = out[i]
+			continue
+		}
+		chosen := -1
+		if tid, ok := trackOf[s.parent]; ok && fits(tracks[tid], startNs, endNs) {
+			chosen = tid
+		}
+		if chosen < 0 {
+			for tid, tr := range tracks {
+				if fits(tr, startNs, endNs) {
+					chosen = tid
+					break
+				}
+			}
+		}
+		if chosen < 0 {
+			tracks = append(tracks, &track{})
+			chosen = len(tracks) - 1
+		}
+		tracks[chosen].open = append(tracks[chosen].open, endNs)
+		trackOf[s.id] = chosen
+		out[i] = chosen
+	}
+	return out
+}
+
+// attrArgs converts span attributes to a JSON args map (nil when empty).
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// WriteChromeTrace writes the tracer's finished spans and counters as
+// Chrome trace-event JSON. It may be called while spans are still open
+// elsewhere; unfinished spans are omitted.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.snapshot()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].start.Equal(spans[j].start) {
+			return spans[i].start.Before(spans[j].start)
+		}
+		return spans[i].id < spans[j].id
+	})
+	tracks := assignTracks(spans)
+
+	events := make([]chromeEvent, 0, len(spans)+8)
+	var lastEndUs float64
+	for i, s := range spans {
+		ts := float64(s.start.Sub(t.epoch).Nanoseconds()) / 1e3
+		ev := chromeEvent{Name: s.name, Ts: ts, Pid: 1, Tid: tracks[i], Args: attrArgs(s.attrs)}
+		if s.kind == kindInstant {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Phase = "X"
+			dur := float64(s.durNanos.Load()) / 1e3
+			ev.Dur = &dur
+			if end := ts + dur; end > lastEndUs {
+				lastEndUs = end
+			}
+		}
+		events = append(events, ev)
+	}
+	counters := t.Counters()
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		events = append(events, chromeEvent{
+			Name: k, Phase: "C", Ts: lastEndUs, Pid: 1, Tid: 0,
+			Args: map[string]any{"value": counters[k]},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&chromeTrace{TraceEvents: events}); err != nil {
+		return fmt.Errorf("telemetry: write chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// The machine-readable exporter: a compact build report — the span tree
+// plus counter totals — that marshals to JSON for tooling (CI assertions,
+// regression dashboards, the -report flag of the commands).
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is a snapshot of a tracer: the finished spans as a tree, plus
+// the counter totals.
+type Report struct {
+	// Spans holds the root spans in start order, children nested.
+	Spans []*ReportSpan `json:"spans"`
+	// Counters are the accumulated totals (cache.hits, analyzer.webs, ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// ReportSpan is one span of the report tree.
+type ReportSpan struct {
+	Name string `json:"name"`
+	// Start is nanoseconds since the tracer's epoch; Dur is the span's
+	// duration in nanoseconds (zero for instant events).
+	Start    int64          `json:"startNs"`
+	Dur      int64          `json:"durNs"`
+	Instant  bool           `json:"instant,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*ReportSpan  `json:"children,omitempty"`
+}
+
+// Report snapshots the tracer. Spans still open (and their descendants)
+// are omitted, so it is safe to call while other builds are tracing.
+func (t *Tracer) Report() *Report {
+	spans := t.snapshot()
+	nodes := make(map[int]*ReportSpan, len(spans))
+	for _, s := range spans {
+		nodes[s.id] = &ReportSpan{
+			Name:    s.name,
+			Start:   s.start.Sub(t.epoch).Nanoseconds(),
+			Dur:     s.durNanos.Load(),
+			Instant: s.kind == kindInstant,
+			Attrs:   attrArgs(s.attrs),
+		}
+	}
+	rep := &Report{Counters: t.Counters()}
+	// snapshot returns id order, and a parent's id is always smaller than
+	// its children's, so parents attach before their children arrive.
+	for _, s := range spans {
+		n := nodes[s.id]
+		if p, ok := nodes[s.parent]; ok {
+			p.Children = append(p.Children, n)
+		} else if s.parent == -1 {
+			rep.Spans = append(rep.Spans, n)
+		}
+		// A finished span under an unfinished parent is dropped with it.
+	}
+	if len(rep.Counters) == 0 {
+		rep.Counters = nil
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// Find returns the first span in the tree (pre-order) with the given
+// name, or nil. A test and tooling convenience.
+func (r *Report) Find(name string) *ReportSpan {
+	var walk func(ns []*ReportSpan) *ReportSpan
+	walk = func(ns []*ReportSpan) *ReportSpan {
+		for _, n := range ns {
+			if n.Name == name {
+				return n
+			}
+			if m := walk(n.Children); m != nil {
+				return m
+			}
+		}
+		return nil
+	}
+	return walk(r.Spans)
+}
+
+// TotalDur sums the durations of every root span — the traced wall time.
+func (r *Report) TotalDur() time.Duration {
+	var total int64
+	for _, n := range r.Spans {
+		total += n.Dur
+	}
+	return time.Duration(total)
+}

@@ -1,0 +1,232 @@
+// Package telemetry is the build-event observability layer for the
+// two-pass compilation pipeline: a lightweight hierarchical span and
+// counter subsystem threaded through the compiler via context.Context.
+//
+// A Span is one timed region of a build — a compile pass, an analyzer
+// stage, one module's phase-1 run — with a name, typed attributes, and a
+// parent (the span open in the context it was started from). Counters
+// accumulate named totals (cache hits, modules reused, webs colored).
+// Both land on a Tracer, which two exporters read: WriteChromeTrace emits
+// Chrome trace-event JSON loadable in chrome://tracing or Perfetto, and
+// Report produces a compact machine-readable tree for tooling.
+//
+// Telemetry rides on context.Context rather than package globals so that
+// concurrent builds never share or contend on tracing state, and so the
+// disabled path is a pure function of the caller's context: when no
+// Tracer is attached, StartSpan returns the context unchanged with a nil
+// span, every Span method no-ops on the nil receiver, and none of it
+// allocates — the instrumented hot paths cost two context lookups per
+// module when tracing is off (asserted by TestDisabledTelemetryZeroAlloc).
+//
+// Race-safety: a Span is owned by the goroutine that started it until
+// End, which publishes the duration with a release store; exporters skip
+// spans whose End they cannot observe, so a Tracer may be exported while
+// other builds are still writing to it. Counters and span registration
+// are mutex-guarded.
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one typed span attribute. Exactly one of Str/Int is meaningful,
+// selected by IsInt; keeping the variants unboxed lets SetInt/SetStr stay
+// allocation-free when the span is nil (disabled telemetry).
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Value returns the attribute's value as an interface (for reports).
+func (a Attr) Value() any {
+	if a.IsInt {
+		return a.Int
+	}
+	return a.Str
+}
+
+// spanKind distinguishes timed regions from instant events.
+type spanKind uint8
+
+const (
+	kindSpan spanKind = iota
+	kindInstant
+)
+
+// Span is one timed region (or instant event) of a build. The zero of
+// *Span — nil — is the disabled span: every method no-ops.
+type Span struct {
+	tracer *Tracer
+	id     int
+	parent int // span id, -1 for roots
+	kind   spanKind
+	name   string
+	start  time.Time
+	attrs  []Attr
+	// durNanos is -1 while the span is open. End publishes the duration
+	// with an atomic store; exporters acquire it with an atomic load, which
+	// orders the attrs writes before any exporter read (spans still at -1
+	// are skipped wholesale).
+	durNanos atomic.Int64
+}
+
+// SetStr attaches a string attribute. Attributes must be set before End.
+func (s *Span) SetStr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: value})
+}
+
+// SetInt attaches an integer attribute. Attributes must be set before End.
+func (s *Span) SetInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: value, IsInt: true})
+}
+
+// End closes the span, publishing it to the tracer's exporters. Instant
+// events record zero duration regardless of when End runs.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := int64(0)
+	if s.kind == kindSpan {
+		d = int64(time.Since(s.start))
+		if d < 0 {
+			d = 0
+		}
+	}
+	s.durNanos.Store(d)
+}
+
+// Tracer collects the spans and counters of one or more builds.
+type Tracer struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	spans    []*Span
+	counters map[string]int64
+}
+
+// New returns an empty Tracer; its epoch (trace time zero) is now.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now(), counters: make(map[string]int64)}
+}
+
+// Add accumulates delta into the named counter.
+func (t *Tracer) Add(name string, delta int64) {
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Counters returns a snapshot of the counter totals.
+func (t *Tracer) Counters() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// newSpan registers a span with the tracer and returns it.
+func (t *Tracer) newSpan(name string, parent int, kind spanKind) *Span {
+	s := &Span{tracer: t, parent: parent, kind: kind, name: name, start: time.Now()}
+	s.durNanos.Store(-1)
+	t.mu.Lock()
+	s.id = len(t.spans)
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// snapshot returns the finished spans (id order) under a consistent view.
+func (t *Tracer) snapshot() []*Span {
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	out := spans[:0]
+	for _, s := range spans {
+		if s.durNanos.Load() >= 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ctxKey is the context key for the tracing state. A zero-size key makes
+// the ctx.Value lookup allocation-free.
+type ctxKey struct{}
+
+// ctxVal is the per-context tracing state: the tracer plus the id of the
+// span currently open in this context (-1 at the root).
+type ctxVal struct {
+	t    *Tracer
+	span int
+}
+
+// WithTracer returns a context carrying the tracer; spans started from it
+// (and its descendants) land on t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &ctxVal{t: t, span: -1})
+}
+
+// FromContext returns the context's tracer, or nil when telemetry is
+// disabled.
+func FromContext(ctx context.Context) *Tracer {
+	if v, ok := ctx.Value(ctxKey{}).(*ctxVal); ok {
+		return v.t
+	}
+	return nil
+}
+
+// Enabled reports whether a tracer is attached to the context.
+func Enabled(ctx context.Context) bool { return FromContext(ctx) != nil }
+
+// StartSpan opens a span named name under the context's current span and
+// returns a context in which it is current. Without a tracer it returns
+// ctx unchanged and a nil span, allocating nothing; the caller's
+// `defer span.End()` then no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	v, ok := ctx.Value(ctxKey{}).(*ctxVal)
+	if !ok {
+		return ctx, nil
+	}
+	s := v.t.newSpan(name, v.span, kindSpan)
+	return context.WithValue(ctx, ctxKey{}, &ctxVal{t: v.t, span: s.id}), s
+}
+
+// Event records an instant event under the context's current span. The
+// caller may attach attributes and must End it (duration stays zero).
+// Returns nil — a no-op — when telemetry is disabled.
+func Event(ctx context.Context, name string) *Span {
+	v, ok := ctx.Value(ctxKey{}).(*ctxVal)
+	if !ok {
+		return nil
+	}
+	return v.t.newSpan(name, v.span, kindInstant)
+}
+
+// Count accumulates delta into the tracer's named counter; a no-op (and
+// allocation-free) when telemetry is disabled.
+func Count(ctx context.Context, name string, delta int64) {
+	v, ok := ctx.Value(ctxKey{}).(*ctxVal)
+	if !ok {
+		return
+	}
+	v.t.Add(name, delta)
+}

@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndCounters(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, build := StartSpan(ctx, "build")
+	build.SetStr("config", "C")
+	p1ctx, p1 := StartSpan(ctx, "phase1")
+	_, m := StartSpan(p1ctx, "module")
+	m.SetStr("name", "a.mc")
+	m.SetInt("bytes", 42)
+	m.End()
+	ev := Event(p1ctx, "decision")
+	ev.SetStr("why", "new module")
+	ev.End()
+	p1.End()
+	Count(ctx, "cache.hits", 3)
+	Count(ctx, "cache.hits", 2)
+	build.End()
+
+	rep := tr.Report()
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "build" {
+		t.Fatalf("roots = %+v, want single build span", rep.Spans)
+	}
+	if got := rep.Spans[0].Attrs["config"]; got != "C" {
+		t.Errorf("build config attr = %v", got)
+	}
+	p1n := rep.Find("phase1")
+	if p1n == nil || len(p1n.Children) != 2 {
+		t.Fatalf("phase1 node = %+v, want 2 children", p1n)
+	}
+	mn := rep.Find("module")
+	if mn == nil || mn.Attrs["name"] != "a.mc" || mn.Attrs["bytes"] != int64(42) {
+		t.Errorf("module node = %+v", mn)
+	}
+	en := rep.Find("decision")
+	if en == nil || !en.Instant || en.Dur != 0 {
+		t.Errorf("decision event = %+v, want instant with zero duration", en)
+	}
+	if rep.Counters["cache.hits"] != 5 {
+		t.Errorf("cache.hits = %d, want 5", rep.Counters["cache.hits"])
+	}
+	if rep.TotalDur() <= 0 {
+		t.Errorf("TotalDur = %v, want > 0", rep.TotalDur())
+	}
+}
+
+func TestUnfinishedSpansOmitted(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, done := StartSpan(ctx, "done")
+	dctx, open := StartSpan(ctx, "open")
+	_, child := StartSpan(dctx, "child-of-open")
+	child.End()
+	done.End()
+	_ = open // never ended
+
+	rep := tr.Report()
+	if rep.Find("open") != nil {
+		t.Error("unfinished span appeared in report")
+	}
+	if rep.Find("child-of-open") != nil {
+		t.Error("descendant of unfinished span appeared in report")
+	}
+	if rep.Find("done") == nil {
+		t.Error("finished span missing from report")
+	}
+}
+
+// TestDisabledNilSafety: without a tracer everything is a no-op and the
+// context passes through unchanged.
+func TestDisabledNilSafety(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x")
+	if ctx2 != ctx {
+		t.Error("StartSpan changed the context without a tracer")
+	}
+	if sp != nil {
+		t.Error("StartSpan returned a non-nil span without a tracer")
+	}
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.End()
+	Event(ctx, "e").End()
+	Count(ctx, "c", 1)
+	if Enabled(ctx) || FromContext(ctx) != nil {
+		t.Error("disabled context reports enabled")
+	}
+}
+
+// TestDisabledTelemetryZeroAlloc is the tentpole's fast-path guarantee:
+// with no tracer attached, the full span/counter surface allocates
+// nothing. The instrumented compiler hot paths call exactly these.
+func TestDisabledTelemetryZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartSpan(ctx, "phase1")
+		sp.SetStr("module", "a.mc")
+		sp.SetInt("bytes", 42)
+		Count(c2, "cache.hits", 1)
+		ev := Event(c2, "decision")
+		ev.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTracerRace hammers one tracer from many goroutines; run under
+// -race this checks span registration, counters, and concurrent export.
+func TestTracerRace(t *testing.T) {
+	tr := New()
+	root := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, sp := StartSpan(root, "work")
+				sp.SetInt("worker", int64(g))
+				_, inner := StartSpan(ctx, "inner")
+				Count(ctx, "ops", 1)
+				inner.End()
+				sp.End()
+			}
+		}(g)
+	}
+	// Export concurrently with the writers.
+	for i := 0; i < 5; i++ {
+		_ = tr.Report()
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	if got := tr.Counters()["ops"]; got != 8*50 {
+		t.Errorf("ops = %d, want %d", got, 8*50)
+	}
+}
+
+// traceShape decodes a Chrome trace and checks well-formedness: required
+// fields per event, and per-tid proper nesting of "X" slices.
+func traceShape(t *testing.T, data []byte) (names map[string]int, counters map[string]float64) {
+	t.Helper()
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names = make(map[string]int)
+	counters = make(map[string]float64)
+	type slice struct{ ts, end float64 }
+	open := make(map[float64][]slice) // tid -> stack
+	for i, ev := range trace.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		if name == "" || ph == "" {
+			t.Fatalf("event %d missing name/ph: %v", i, ev)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event %d missing ts: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d missing pid: %v", i, ev)
+		}
+		tid, ok := ev["tid"].(float64)
+		if !ok {
+			t.Fatalf("event %d missing tid: %v", i, ev)
+		}
+		switch ph {
+		case "X":
+			names[name]++
+			ts := ev["ts"].(float64)
+			dur, ok := ev["dur"].(float64)
+			if !ok {
+				t.Fatalf("X event %d missing dur: %v", i, ev)
+			}
+			st := open[tid]
+			for len(st) > 0 && st[len(st)-1].end <= ts {
+				st = st[:len(st)-1]
+			}
+			if len(st) > 0 && st[len(st)-1].end < ts+dur {
+				t.Fatalf("slice %q [%v,%v) on tid %v partially overlaps enclosing slice ending %v",
+					name, ts, ts+dur, tid, st[len(st)-1].end)
+			}
+			open[tid] = append(st, slice{ts, ts + dur})
+		case "C":
+			args, _ := ev["args"].(map[string]any)
+			v, _ := args["value"].(float64)
+			counters[name] = v
+		case "i":
+			names[name]++
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+	return names, counters
+}
+
+// TestChromeTraceNesting builds an adversarial span layout — parallel
+// overlapping siblings under one parent — and checks the exported trace
+// stays well-formed (the track-assignment invariant).
+func TestChromeTraceNesting(t *testing.T) {
+	tr := New()
+	root := WithTracer(context.Background(), tr)
+	ctx, build := StartSpan(root, "build")
+	pctx, phase := StartSpan(ctx, "phase1")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, sp := StartSpan(pctx, "module")
+			sp.SetInt("worker", int64(w))
+			time.Sleep(time.Duration(1+w) * time.Millisecond)
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	phase.End()
+	_, link := StartSpan(ctx, "link")
+	link.End()
+	build.End()
+	tr.Add("cache.hits", 7)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names, counters := traceShape(t, buf.Bytes())
+	for _, want := range []string{"build", "phase1", "module", "link"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q slice", want)
+		}
+	}
+	if names["module"] != 4 {
+		t.Errorf("module slices = %d, want 4", names["module"])
+	}
+	if counters["cache.hits"] != 7 {
+		t.Errorf("cache.hits counter = %v, want 7", counters["cache.hits"])
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "build")
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Name != "build" {
+		t.Errorf("round-tripped report = %+v", back)
+	}
+}

@@ -17,15 +17,22 @@
 //  4. The linker binds the objects; the PARV simulator executes the result
 //     and reports cycles, memory references, and call-edge profiles.
 //
-// The Config presets Level2 and ConfigA..ConfigF correspond to the paper's
-// Table 4 columns.
+// Build is the single entry point: it drives the whole pipeline over a
+// source set under one Config, with functional options selecting
+// profile-guided compilation (WithProfile), persistent incremental build
+// state (WithBuildDir), and build-event telemetry (WithTelemetry). The
+// named configurations of the paper's Table 4 come from the Presets
+// registry ("L2" plus columns "A".."F").
 package ipra
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 
 	"ipra/internal/cache"
 	"ipra/internal/codegen"
@@ -40,6 +47,7 @@ import (
 	"ipra/internal/pdb"
 	"ipra/internal/pipeline"
 	"ipra/internal/summary"
+	"ipra/internal/telemetry"
 )
 
 // Source is one MiniC module (compilation unit).
@@ -58,7 +66,7 @@ type Config struct {
 	// Analyzer configures the program analyzer when enabled.
 	Analyzer core.Options
 	// WantProfile marks configurations that use dynamic call counts; the
-	// caller must supply Profile (typically via CompileProfiled).
+	// caller must supply Profile or build with the WithProfile option.
 	WantProfile bool
 	// Profile supplies exact call counts collected from a prior run.
 	Profile *parv.Profile
@@ -77,58 +85,135 @@ type Config struct {
 	DisableCache bool
 }
 
-// Level2 is the baseline: global optimization only, standard linkage.
-func Level2() Config {
+// presetBuilders is the configuration registry: one constructor per named
+// preset — the level-2 baseline plus the paper's Table 4 columns, in
+// table order. Presets, PresetNames, and PresetByName derive from this
+// single table, so commands and harnesses never hand-maintain parallel
+// preset lists.
+var presetBuilders = []struct {
+	name  string
+	desc  string
+	build func() Config
+}{
+	{"L2", "level-2 baseline: global optimization only, standard linkage", buildLevel2},
+	{"A", "spill code motion only", buildConfigA},
+	{"B", "spill code motion with profile information", buildConfigB},
+	{"C", "spill motion plus 6-register web coloring", buildConfigC},
+	{"D", "spill motion plus greedy coloring", buildConfigD},
+	{"E", "spill motion plus blanket promotion of the 6 hottest globals", buildConfigE},
+	{"F", "configuration C with profile information", buildConfigF},
+}
+
+func buildLevel2() Config {
 	return Config{Name: "L2"}
 }
 
-// ConfigA is spill code motion only (Table 4 column A).
-func ConfigA() Config {
+func buildConfigA() Config {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteNone
 	return Config{Name: "A", UseAnalyzer: true, Analyzer: o}
 }
 
-// ConfigB is spill code motion with profile information (column B).
-func ConfigB() Config {
-	c := ConfigA()
+func buildConfigB() Config {
+	c := buildConfigA()
 	c.Name = "B"
 	c.WantProfile = true
 	return c
 }
 
-// ConfigC is spill motion plus 6-register web coloring (column C).
-func ConfigC() Config {
+func buildConfigC() Config {
 	o := core.DefaultOptions()
 	return Config{Name: "C", UseAnalyzer: true, Analyzer: o}
 }
 
-// ConfigD is spill motion plus greedy coloring (column D).
-func ConfigD() Config {
+func buildConfigD() Config {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteGreedy
 	return Config{Name: "D", UseAnalyzer: true, Analyzer: o}
 }
 
-// ConfigE is spill motion plus blanket promotion of the 6 hottest globals
-// (column E, the [Wall 86] policy).
-func ConfigE() Config {
+func buildConfigE() Config {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteBlanket
 	return Config{Name: "E", UseAnalyzer: true, Analyzer: o}
 }
 
-// ConfigF is configuration C with profile information (column F).
-func ConfigF() Config {
-	c := ConfigC()
+func buildConfigF() Config {
+	c := buildConfigC()
 	c.Name = "F"
 	c.WantProfile = true
 	return c
 }
 
-// Configs returns the paper's full configuration sweep, Table 4 order.
+// Presets returns a freshly constructed configuration for every named
+// preset: the "L2" baseline plus the paper's Table 4 columns "A".."F".
+// Each call builds new values, so callers may mutate them freely.
+func Presets() map[string]Config {
+	m := make(map[string]Config, len(presetBuilders))
+	for _, p := range presetBuilders {
+		m[p.name] = p.build()
+	}
+	return m
+}
+
+// PresetNames lists the preset names in registry (Table 4) order:
+// L2, A, B, C, D, E, F.
+func PresetNames() []string {
+	names := make([]string, len(presetBuilders))
+	for i, p := range presetBuilders {
+		names[i] = p.name
+	}
+	return names
+}
+
+// PresetByName resolves a preset name case-insensitively.
+func PresetByName(name string) (Config, error) {
+	for _, p := range presetBuilders {
+		if strings.EqualFold(p.name, name) {
+			return p.build(), nil
+		}
+	}
+	return Config{}, fmt.Errorf("unknown configuration %q (want %s)", name, strings.Join(PresetNames(), ", "))
+}
+
+// Level2 is the baseline: global optimization only, standard linkage.
+// It is a wrapper over the Presets registry entry "L2".
+func Level2() Config { return buildLevel2() }
+
+// ConfigA is spill code motion only (Table 4 column A); registry entry "A".
+func ConfigA() Config { return buildConfigA() }
+
+// ConfigB is spill code motion with profile information (column B);
+// registry entry "B".
+func ConfigB() Config { return buildConfigB() }
+
+// ConfigC is spill motion plus 6-register web coloring (column C);
+// registry entry "C".
+func ConfigC() Config { return buildConfigC() }
+
+// ConfigD is spill motion plus greedy coloring (column D); registry
+// entry "D".
+func ConfigD() Config { return buildConfigD() }
+
+// ConfigE is spill motion plus blanket promotion of the 6 hottest globals
+// (column E, the [Wall 86] policy); registry entry "E".
+func ConfigE() Config { return buildConfigE() }
+
+// ConfigF is configuration C with profile information (column F);
+// registry entry "F".
+func ConfigF() Config { return buildConfigF() }
+
+// Configs returns the paper's full configuration sweep, Table 4 order
+// (the Presets registry minus the L2 baseline).
 func Configs() []Config {
-	return []Config{ConfigA(), ConfigB(), ConfigC(), ConfigD(), ConfigE(), ConfigF()}
+	var out []Config
+	for _, p := range presetBuilders {
+		if p.name == "L2" {
+			continue
+		}
+		out = append(out, p.build())
+	}
+	return out
 }
 
 // Program is a fully compiled and linked program plus the artifacts of
@@ -238,32 +323,197 @@ func ResetPhase1Cache() { phase1Cache.Reset() }
 
 // phase1Module produces one module's phase-1 output and summary, serving
 // both from the cache when the source content has been compiled before.
-func phase1Module(src Source, cfg Config) (*ir.Module, *summary.ModuleSummary, error) {
+// Under telemetry it runs as a "module" span with "frontend" and
+// "summarize" children on the miss path, and ticks the cache counters.
+func phase1Module(ctx context.Context, src Source, cfg Config) (*ir.Module, *summary.ModuleSummary, error) {
+	ctx, span := telemetry.StartSpan(ctx, "module")
+	defer span.End()
+	span.SetStr("module", src.Name)
 	var key cache.Key
 	if !cfg.DisableCache {
 		key = cache.SourceKey(src.Name, src.Text, phase1Fingerprint)
-		if m, ms, ok := phase1Cache.Get(key); ok {
+		if m, ms, ok := phase1Cache.GetCtx(ctx, key); ok {
+			span.SetStr("cache", "hit")
 			return m, ms, nil
 		}
+		span.SetStr("cache", "miss")
 	}
+	_, feSpan := telemetry.StartSpan(ctx, "frontend")
 	m, err := Phase1(src)
+	feSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	_, sumSpan := telemetry.StartSpan(ctx, "summarize")
 	ms := summarizeModule(m)
+	sumSpan.End()
 	if !cfg.DisableCache {
-		if err := phase1Cache.Put(key, m, ms); err != nil {
+		if err := phase1Cache.PutCtx(ctx, key, m, ms); err != nil {
 			return nil, nil, err
 		}
 	}
 	return m, ms, nil
 }
 
-// Compile runs the full pipeline over the sources. The first phase, the
-// summary computation, and the second phase all fan out across cfg.Jobs
-// workers; results land in position-indexed slices, so the output is
-// byte-identical to a sequential (Jobs: 1) run.
-func Compile(sources []Source, cfg Config) (*Program, error) {
+// BuildOption configures one Build call.
+type BuildOption func(*buildSettings)
+
+// buildSettings is the resolved option set of one Build.
+type buildSettings struct {
+	profiled    bool
+	trainInstrs uint64
+	buildDir    string
+	tracer      *telemetry.Tracer
+	stderr      io.Writer
+}
+
+// WithProfile enables profile-guided compilation (§6.1, Table 4 columns B
+// and F): Build compiles with heuristic call counts, runs the result once
+// on the simulator to collect gprof-style call-edge counts (maxInstrs
+// bounds the training run; 0 uses the simulator default), then re-analyzes
+// and re-compiles with the profile. The training RunResult lands in
+// BuildResult.Train.
+func WithProfile(maxInstrs uint64) BuildOption {
+	return func(s *buildSettings) {
+		s.profiled = true
+		s.trainInstrs = maxInstrs
+	}
+}
+
+// WithBuildDir makes the build incremental against a persistent build
+// directory (created if missing): phase 1 re-runs only for modules whose
+// source changed, the analyzer always re-runs, and phase 2 re-runs only
+// for modules whose source or consumed directives changed. The output is
+// byte-identical to a from-scratch Build; the rebuild record lands in
+// BuildResult.Incremental. Profile-guided builds keep their training pass
+// in a "train" subdirectory so repeat builds skip it too. An empty dir
+// disables the option.
+func WithBuildDir(dir string) BuildOption {
+	return func(s *buildSettings) { s.buildDir = dir }
+}
+
+// WithTelemetry attaches a tracer: every pipeline stage, per-module
+// compile, analyzer stage, and incremental invalidation decision is
+// recorded as a span or event on t, with cache and rebuild counters
+// alongside, and a snapshot lands in BuildResult.Report. Export with
+// t.WriteChromeTrace (chrome://tracing, Perfetto) or t.Report. A tracer
+// already attached to ctx via telemetry.WithTracer works the same way.
+func WithTelemetry(t *telemetry.Tracer) BuildOption {
+	return func(s *buildSettings) { s.tracer = t }
+}
+
+// WithStderr directs diagnostic output — the incremental driver's
+// per-module rebuild explanations — to w.
+func WithStderr(w io.Writer) BuildOption {
+	return func(s *buildSettings) { s.stderr = w }
+}
+
+// BuildResult is the outcome of one Build: the compiled program (its
+// fields are promoted, so result.Exe, result.Analysis, ... read
+// directly), plus the artifacts of the options in effect.
+type BuildResult struct {
+	*Program
+	// Train is the profiling run of a WithProfile build (nil otherwise).
+	Train *RunResult
+	// Incremental is the rebuild record of a WithBuildDir build
+	// (nil otherwise).
+	Incremental *incremental.Outcome
+	// Report is the telemetry snapshot of this build (nil unless a tracer
+	// was attached).
+	Report *telemetry.Report
+}
+
+// Build runs the full two-pass pipeline over the sources: compiler first
+// phase and summaries, program analyzer (when cfg.UseAnalyzer), compiler
+// second phase, and link, fanning the module-at-a-time phases across
+// cfg.Jobs workers with output byte-identical to a sequential run.
+// Options select profile-guided compilation (WithProfile), persistent
+// incremental build state (WithBuildDir), and telemetry (WithTelemetry).
+// It replaces the deprecated Compile, CompileProfiled, CompileIncremental,
+// and CompileProfiledIncremental entry points.
+func Build(ctx context.Context, sources []Source, cfg Config, opts ...BuildOption) (*BuildResult, error) {
+	var s buildSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.tracer != nil {
+		ctx = telemetry.WithTracer(ctx, s.tracer)
+	}
+	bctx, span := telemetry.StartSpan(ctx, "build")
+	span.SetStr("config", cfg.Name)
+	span.SetInt("modules", int64(len(sources)))
+	span.SetInt("jobs", int64(pipeline.Workers(cfg.Jobs)))
+
+	res := &BuildResult{}
+	err := runBuild(bctx, sources, cfg, s, res)
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	if t := telemetry.FromContext(bctx); t != nil {
+		res.Report = t.Report()
+	}
+	return res, nil
+}
+
+// runBuild dispatches one Build under its resolved settings.
+func runBuild(ctx context.Context, sources []Source, cfg Config, s buildSettings, res *BuildResult) error {
+	if !s.profiled {
+		p, out, err := compileWith(ctx, sources, cfg, s.buildDir, s.stderr)
+		if err != nil {
+			return err
+		}
+		res.Program, res.Incremental = p, out
+		return nil
+	}
+
+	// Profile-guided (§6.1): compile with heuristic counts, run once to
+	// collect call counts, then re-analyze and re-compile with the
+	// profile. Incremental builds keep the training pass's state in a
+	// "train" subdirectory, so the profiled directives in the main store
+	// are never churned by the training pass and a no-edit rebuild of
+	// both passes recompiles nothing.
+	trainDir := ""
+	if s.buildDir != "" {
+		trainDir = filepath.Join(s.buildDir, "train")
+	}
+	first, _, err := compileWith(ctx, sources, cfg, trainDir, s.stderr)
+	if err != nil {
+		return err
+	}
+	_, runSpan := telemetry.StartSpan(ctx, "train-run")
+	train, err := first.Run(s.trainInstrs, true)
+	runSpan.End()
+	if err != nil {
+		return fmt.Errorf("profiling run: %w", err)
+	}
+	cfg.Profile = train.Profile
+	p, out, err := compileWith(ctx, sources, cfg, s.buildDir, s.stderr)
+	if err != nil {
+		return err
+	}
+	res.Program, res.Train, res.Incremental = p, train, out
+	return nil
+}
+
+// compileWith compiles once: in memory when buildDir is empty, against
+// the persistent build directory otherwise.
+func compileWith(ctx context.Context, sources []Source, cfg Config, buildDir string, explainW io.Writer) (*Program, *incremental.Outcome, error) {
+	if buildDir == "" {
+		p, err := compile(ctx, sources, cfg)
+		return p, nil, err
+	}
+	return compileIncremental(ctx, sources, cfg, buildDir, explainW)
+}
+
+// compile runs the in-memory pipeline over the sources. The first phase,
+// the summary computation, and the second phase all fan out across
+// cfg.Jobs workers; results land in position-indexed slices, so the
+// output is byte-identical to a sequential (Jobs: 1) run.
+func compile(ctx context.Context, sources []Source, cfg Config) (*Program, error) {
+	ctx, span := telemetry.StartSpan(ctx, "compile")
+	defer span.End()
+	span.SetStr("config", cfg.Name)
 	p := &Program{Config: cfg}
 
 	// ---- Compiler first phase + summaries, modules in parallel.
@@ -271,13 +521,15 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 		m  *ir.Module
 		ms *summary.ModuleSummary
 	}
-	front, err := pipeline.Map(cfg.Jobs, sources, func(_ int, src Source) (phase1Out, error) {
-		m, ms, err := phase1Module(src, cfg)
+	p1ctx, p1Span := telemetry.StartSpan(ctx, "phase1")
+	front, err := pipeline.MapCtx(p1ctx, cfg.Jobs, sources, func(ctx context.Context, _ int, src Source) (phase1Out, error) {
+		m, ms, err := phase1Module(ctx, src, cfg)
 		if err != nil {
 			return phase1Out{}, fmt.Errorf("%s: %w", src.Name, err)
 		}
 		return phase1Out{m: m, ms: ms}, nil
 	})
+	p1Span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +543,7 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 		o := cfg.Analyzer
 		o.Profile = cfg.Profile
 		o.Jobs = cfg.Jobs
-		res, err := core.Analyze(p.Summaries, o)
+		res, err := core.Analyze(ctx, p.Summaries, o)
 		if err != nil {
 			return nil, err
 		}
@@ -305,15 +557,19 @@ func Compile(sources []Source, cfg Config) (*Program, error) {
 	// ---- Compiler second phase, modules in parallel (order-independent;
 	// the program database is shared read-only).
 	eligible := eligibleMap(p.DB)
-	p.Objects, err = pipeline.Map(cfg.Jobs, p.Modules, func(_ int, m *ir.Module) (*parv.Object, error) {
-		return phase2Module(m, p.DB, eligible)
+	p2ctx, p2Span := telemetry.StartSpan(ctx, "phase2")
+	p.Objects, err = pipeline.MapCtx(p2ctx, cfg.Jobs, p.Modules, func(ctx context.Context, _ int, m *ir.Module) (*parv.Object, error) {
+		return phase2Module(ctx, m, p.DB, eligible)
 	})
+	p2Span.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// ---- Link.
+	_, linkSpan := telemetry.StartSpan(ctx, "link")
 	exe, err := parv.Link(p.Objects, parv.LinkConfig{DataSize: cfg.DataSize})
+	linkSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +593,10 @@ func eligibleMap(db *pdb.Database) map[string]bool {
 // module IR, the directives of its own procedures and direct callees, and
 // the eligibility set — the property the incremental driver's
 // directive-diff invalidation relies on.
-func phase2Module(m *ir.Module, db *pdb.Database, eligible map[string]bool) (*parv.Object, error) {
+func phase2Module(ctx context.Context, m *ir.Module, db *pdb.Database, eligible map[string]bool) (*parv.Object, error) {
+	_, span := telemetry.StartSpan(ctx, "module")
+	defer span.End()
+	span.SetStr("module", m.Name)
 	work := m.Clone()
 	for _, f := range work.Funcs {
 		dir := db.Lookup(f.Name)
@@ -389,16 +648,8 @@ func eligibleFromSummaries(sums []*summary.ModuleSummary) []string {
 			out = append(out, name)
 		}
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
 }
 
 // phase2Fingerprint versions the persisted phase-2 artifacts (objects in
@@ -413,38 +664,27 @@ func toolchainFingerprint() string {
 	return phase1Fingerprint + "|" + phase2Fingerprint + "|" + runtime.Version()
 }
 
-// IncrementalOptions configure CompileIncremental.
-type IncrementalOptions struct {
-	// BuildDir is the persistent build-state directory (created if
-	// missing). State inside is keyed by source content, directive hashes,
-	// and a toolchain fingerprint; see internal/incremental.
-	BuildDir string
-	// Explain, when non-nil, receives one line per module explaining why
-	// it was or wasn't rebuilt.
-	Explain io.Writer
-}
-
-// CompileIncremental is Compile backed by a persistent build directory: it
-// recompiles phase 1 only for modules whose source changed, re-runs the
-// program analyzer on the merged summary set, recompiles phase 2 only for
-// modules whose source or consumed directives changed, and relinks from
-// stored plus fresh objects. The result is byte-identical to Compile on
-// the same sources and configuration — reuse is pure memoization — and the
-// returned Outcome records what was rebuilt and why.
+// compileIncremental is compile backed by a persistent build directory:
+// it recompiles phase 1 only for modules whose source changed, re-runs
+// the program analyzer on the merged summary set, recompiles phase 2 only
+// for modules whose source or consumed directives changed, and relinks
+// from stored plus fresh objects. The result is byte-identical to compile
+// on the same sources and configuration — reuse is pure memoization — and
+// the returned Outcome records what was rebuilt and why.
 //
 // The configuration needs no fingerprint of its own in the build state:
 // nothing in Config reaches phase 1, and phase 2 sees the configuration
 // only through the program database, whose directives are diffed directly.
 // Switching configurations over one build directory therefore rebuilds
 // exactly the modules whose directives the switch changes.
-func CompileIncremental(sources []Source, cfg Config, opts IncrementalOptions) (*Program, *incremental.Outcome, error) {
+func compileIncremental(ctx context.Context, sources []Source, cfg Config, buildDir string, explainW io.Writer) (*Program, *incremental.Outcome, error) {
 	p := &Program{Config: cfg}
 	tc := incremental.Toolchain{
 		Fingerprint: toolchainFingerprint(),
-		Phase1: func(name string, text []byte) (*ir.Module, *summary.ModuleSummary, error) {
-			return phase1Module(Source{Name: name, Text: text}, cfg)
+		Phase1: func(ctx context.Context, name string, text []byte) (*ir.Module, *summary.ModuleSummary, error) {
+			return phase1Module(ctx, Source{Name: name, Text: text}, cfg)
 		},
-		Analyze: func(sums []*summary.ModuleSummary) (*pdb.Database, error) {
+		Analyze: func(ctx context.Context, sums []*summary.ModuleSummary) (*pdb.Database, error) {
 			if !cfg.UseAnalyzer {
 				db := pdb.New()
 				db.EligibleGlobals = eligibleFromSummaries(sums)
@@ -453,20 +693,20 @@ func CompileIncremental(sources []Source, cfg Config, opts IncrementalOptions) (
 			o := cfg.Analyzer
 			o.Profile = cfg.Profile
 			o.Jobs = cfg.Jobs
-			res, err := core.Analyze(sums, o)
+			res, err := core.Analyze(ctx, sums, o)
 			if err != nil {
 				return nil, err
 			}
 			p.Analysis = res
 			return res.DB, nil
 		},
-		Phase2: func(db *pdb.Database) func(m *ir.Module) (*parv.Object, error) {
+		Phase2: func(ctx context.Context, db *pdb.Database) func(ctx context.Context, m *ir.Module) (*parv.Object, error) {
 			eligible := eligibleMap(db)
-			return func(m *ir.Module) (*parv.Object, error) {
-				return phase2Module(m, db, eligible)
+			return func(ctx context.Context, m *ir.Module) (*parv.Object, error) {
+				return phase2Module(ctx, m, db, eligible)
 			}
 		},
-		Link: func(objs []*parv.Object) (*parv.Executable, error) {
+		Link: func(ctx context.Context, objs []*parv.Object) (*parv.Executable, error) {
 			return parv.Link(objs, parv.LinkConfig{DataSize: cfg.DataSize})
 		},
 	}
@@ -474,7 +714,7 @@ func CompileIncremental(sources []Source, cfg Config, opts IncrementalOptions) (
 	for i, s := range sources {
 		srcs[i] = incremental.Source{Name: s.Name, Text: s.Text}
 	}
-	out, err := incremental.Build(opts.BuildDir, srcs, tc, incremental.Options{Jobs: cfg.Jobs, Explain: opts.Explain})
+	out, err := incremental.Build(ctx, buildDir, srcs, tc, incremental.Options{Jobs: cfg.Jobs, Explain: explainW})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -511,47 +751,89 @@ func (p *Program) Run(maxInstrs uint64, profile bool) (*RunResult, error) {
 	return res, nil
 }
 
-// CompileProfiled implements the profile-guided configurations (B, F):
-// compile with heuristic counts, run once to collect gprof-style call
-// counts, then re-analyze and re-compile with the profile (§6.1).
+// Compile runs the full pipeline over the sources.
+//
+// Deprecated: Use Build. Compile(sources, cfg) is exactly
+// Build(context.Background(), sources, cfg).
+func Compile(sources []Source, cfg Config) (*Program, error) {
+	res, err := Build(context.Background(), sources, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Program, nil
+}
+
+// CompileProfiled implements the profile-guided configurations (B, F).
+//
+// Deprecated: Use Build with WithProfile. CompileProfiled(sources, cfg,
+// maxInstrs) is exactly Build(context.Background(), sources, cfg,
+// WithProfile(maxInstrs)), whose result carries the training run as
+// BuildResult.Train.
 func CompileProfiled(sources []Source, cfg Config, maxInstrs uint64) (*Program, *RunResult, error) {
-	first, err := Compile(sources, cfg)
+	res, err := Build(context.Background(), sources, cfg, WithProfile(maxInstrs))
 	if err != nil {
 		return nil, nil, err
 	}
-	train, err := first.Run(maxInstrs, true)
-	if err != nil {
-		return nil, nil, fmt.Errorf("profiling run: %w", err)
+	return res.Program, res.Train, nil
+}
+
+// IncrementalOptions configure CompileIncremental.
+//
+// Deprecated: Use Build with WithBuildDir (and WithStderr for Explain).
+type IncrementalOptions struct {
+	// BuildDir is the persistent build-state directory (created if
+	// missing). State inside is keyed by source content, directive hashes,
+	// and a toolchain fingerprint; see internal/incremental.
+	BuildDir string
+	// Explain, when non-nil, receives one line per module explaining why
+	// it was or wasn't rebuilt.
+	Explain io.Writer
+}
+
+// options converts to Build options, preserving the old strictness about
+// an empty build directory.
+func (o IncrementalOptions) options() ([]BuildOption, error) {
+	if o.BuildDir == "" {
+		return nil, fmt.Errorf("incremental: empty build directory path")
 	}
-	cfg.Profile = train.Profile
-	p, err := Compile(sources, cfg)
+	opts := []BuildOption{WithBuildDir(o.BuildDir)}
+	if o.Explain != nil {
+		opts = append(opts, WithStderr(o.Explain))
+	}
+	return opts, nil
+}
+
+// CompileIncremental is Compile backed by a persistent build directory.
+//
+// Deprecated: Use Build with WithBuildDir; the rebuild record is
+// BuildResult.Incremental.
+func CompileIncremental(sources []Source, cfg Config, opts IncrementalOptions) (*Program, *incremental.Outcome, error) {
+	bopts, err := opts.options()
 	if err != nil {
 		return nil, nil, err
 	}
-	return p, train, nil
+	res, err := Build(context.Background(), sources, cfg, bopts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Program, res.Incremental, nil
 }
 
 // CompileProfiledIncremental is CompileProfiled over persistent build
-// state. The heuristic training build keeps its state in a "train"
-// subdirectory of opts.BuildDir, so the profiled directives in the main
-// store are never churned by the training pass and a no-edit rebuild of
-// both passes recompiles nothing. The returned Outcome describes the final
-// (profiled) build.
+// state.
+//
+// Deprecated: Use Build with WithProfile and WithBuildDir; the training
+// run is BuildResult.Train and the rebuild record (of the final, profiled
+// pass) is BuildResult.Incremental.
 func CompileProfiledIncremental(sources []Source, cfg Config, maxInstrs uint64, opts IncrementalOptions) (*Program, *RunResult, *incremental.Outcome, error) {
-	trainOpts := opts
-	trainOpts.BuildDir = filepath.Join(opts.BuildDir, "train")
-	first, _, err := CompileIncremental(sources, cfg, trainOpts)
+	bopts, err := opts.options()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	train, err := first.Run(maxInstrs, true)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("profiling run: %w", err)
-	}
-	cfg.Profile = train.Profile
-	p, out, err := CompileIncremental(sources, cfg, opts)
+	bopts = append(bopts, WithProfile(maxInstrs))
+	res, err := Build(context.Background(), sources, cfg, bopts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return p, train, out, nil
+	return res.Program, res.Train, res.Incremental, nil
 }

@@ -2,6 +2,7 @@ package ipra
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"reflect"
 	"testing"
@@ -54,7 +55,7 @@ func TestParallelCompileDeterminism(t *testing.T) {
 			parCfg := cfg
 			parCfg.Jobs = 8
 
-			seq, err := Compile(sources, seqCfg)
+			seq, err := Build(context.Background(), sources, seqCfg)
 			if err != nil {
 				t.Fatalf("%s/%s sequential: %v", b, cfg.Name, err)
 			}
@@ -62,7 +63,7 @@ func TestParallelCompileDeterminism(t *testing.T) {
 			// second is served from it; both must match the sequential
 			// output exactly.
 			for _, label := range []string{"parallel-cold", "parallel-cached"} {
-				par, err := Compile(sources, parCfg)
+				par, err := Build(context.Background(), sources, parCfg)
 				if err != nil {
 					t.Fatalf("%s/%s %s: %v", b, cfg.Name, label, err)
 				}
@@ -97,14 +98,14 @@ func TestParallelCompileProfiledDeterminism(t *testing.T) {
 	seqCfg := ConfigF()
 	seqCfg.Jobs = 1
 	seqCfg.DisableCache = true
-	seq, _, err := CompileProfiled(sources, seqCfg, bm.MaxInstrs)
+	seq, err := Build(context.Background(), sources, seqCfg, WithProfile(bm.MaxInstrs))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	parCfg := ConfigF()
 	parCfg.Jobs = 8
-	par, _, err := CompileProfiled(sources, parCfg, bm.MaxInstrs)
+	par, err := Build(context.Background(), sources, parCfg, WithProfile(bm.MaxInstrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestParallelCompileRace(t *testing.T) {
 		sources := benchSources(t, suite[i])
 		cfg := ConfigC()
 		cfg.Jobs = 8
-		_, err := Compile(sources, cfg)
+		_, err := Build(context.Background(), sources, cfg)
 		if err != nil {
 			return err
 		}
@@ -136,7 +137,7 @@ func TestParallelCompileRace(t *testing.T) {
 		// cache hits while sibling benchmarks still fill theirs.
 		cfg2 := Level2()
 		cfg2.Jobs = 8
-		_, err = Compile(sources, cfg2)
+		_, err = Build(context.Background(), sources, cfg2)
 		return err
 	})
 	if err != nil {
@@ -155,7 +156,7 @@ func TestPhase1CacheReuse(t *testing.T) {
 	}
 	sources := benchSources(t, bm)
 
-	if _, err := Compile(sources, Level2()); err != nil {
+	if _, err := Build(context.Background(), sources, Level2()); err != nil {
 		t.Fatal(err)
 	}
 	s := Phase1CacheStats()
@@ -163,7 +164,7 @@ func TestPhase1CacheReuse(t *testing.T) {
 		t.Fatalf("cold compile: stats = %+v, want %d misses, 0 hits", s, len(sources))
 	}
 
-	cached, err := Compile(sources, ConfigC())
+	cached, err := Build(context.Background(), sources, ConfigC())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestPhase1CacheReuse(t *testing.T) {
 
 	cold := ConfigC()
 	cold.DisableCache = true
-	uncached, err := Compile(sources, cold)
+	uncached, err := Build(context.Background(), sources, cold)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"testing"
 )
 
@@ -8,7 +9,7 @@ import (
 // failing the test on any error.
 func compileAndRun(t *testing.T, cfg Config, sources ...Source) *RunResult {
 	t.Helper()
-	p, err := Compile(sources, cfg)
+	p, err := Build(context.Background(), sources, cfg)
 	if err != nil {
 		t.Fatalf("compile (%s): %v", cfg.Name, err)
 	}
@@ -35,7 +36,7 @@ func allConfigs(t *testing.T, wantExit int32, wantOut string, sources ...Source)
 	}
 	// Profiled configurations.
 	for _, cfg := range []Config{ConfigB(), ConfigF()} {
-		p, _, err := CompileProfiled(sources, cfg, 200_000_000)
+		p, err := Build(context.Background(), sources, cfg, WithProfile(200_000_000))
 		if err != nil {
 			t.Fatalf("compile profiled (%s): %v", cfg.Name, err)
 		}

@@ -1,6 +1,7 @@
 package ipra
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -71,7 +72,7 @@ int add(int x) { total += x; return total; }
 		}
 		sums = append(sums, ms)
 	}
-	res, err := core.Analyze(sums, core.DefaultOptions())
+	res, err := core.Analyze(context.Background(), sums, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ int add(int x) { total += x; return total; }
 	}
 
 	// Same program through the in-memory driver agrees.
-	p2, err := Compile(sources, ConfigC())
+	p2, err := Build(context.Background(), sources, ConfigC())
 	if err != nil {
 		t.Fatal(err)
 	}
