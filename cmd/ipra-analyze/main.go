@@ -29,6 +29,7 @@ import (
 	"ipra/internal/pdb"
 	"ipra/internal/progen"
 	"ipra/internal/summary"
+	"ipra/internal/verify"
 )
 
 func main() {
@@ -109,6 +110,15 @@ func main() {
 	res, err := core.Analyze(ctx, sums, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if common.Verify {
+		if vs := verify.Check(res.Graph, res.Sets, res.DB); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "ipra-analyze: verify: %s\n", v)
+			}
+			fatal(fmt.Errorf("verify: %d allocation invariant violation(s)", len(vs)))
+		}
+		fmt.Printf("ipra-analyze: verify: %d procedures clean\n", len(res.DB.Procs))
 	}
 	if err := pdb.WriteFile(*out, res.DB); err != nil {
 		fatal(err)

@@ -71,7 +71,7 @@ func main() {
 	case *link != "":
 		err = runLink(flag.Args(), *link)
 	case *incremental:
-		err = runIncremental(ctx, flag.Args(), *buildDir, *exeOut, *configName, *trainInstrs, common.Jobs, *explain)
+		err = runIncremental(ctx, flag.Args(), *buildDir, *exeOut, *configName, *trainInstrs, common, *explain)
 	default:
 		fmt.Fprintln(os.Stderr, "mcc: specify -phase1, -phase2, -link, or -incremental (see -help)")
 		os.Exit(2)
@@ -204,7 +204,7 @@ func runLink(files []string, out string) error {
 // program analyzer, and the link in one command, backed by the persistent
 // build directory. Profiled configurations (B, F) run their training pass
 // against a "train" subdirectory, so repeat builds skip it too.
-func runIncremental(ctx context.Context, files []string, buildDir, exeOut, configName string, trainInstrs uint64, jobs int, explain bool) error {
+func runIncremental(ctx context.Context, files []string, buildDir, exeOut, configName string, trainInstrs uint64, common *cliutil.Common, explain bool) error {
 	if len(files) == 0 {
 		return fmt.Errorf("incremental: no source files")
 	}
@@ -212,7 +212,7 @@ func runIncremental(ctx context.Context, files []string, buildDir, exeOut, confi
 	if err != nil {
 		return err
 	}
-	cfg.Jobs = jobs
+	cfg.Jobs = common.Jobs
 
 	sources := make([]ipra.Source, len(files))
 	for i, f := range files {
@@ -229,6 +229,9 @@ func runIncremental(ctx context.Context, files []string, buildDir, exeOut, confi
 	}
 	if cfg.WantProfile {
 		opts = append(opts, ipra.WithProfile(trainInstrs))
+	}
+	if common.Verify {
+		opts = append(opts, ipra.WithVerify())
 	}
 	res, err := ipra.Build(ctx, sources, cfg, opts...)
 	if err != nil {

@@ -50,7 +50,9 @@ func TestDifferentialGeneratedPrograms(t *testing.T) {
 			}
 
 			for _, c := range Configs() {
-				var opts []BuildOption
+				// Every fuzz input is also run through the allocation
+				// invariant verifier; a violation fails the build here.
+				opts := []BuildOption{WithVerify()}
 				if c.WantProfile {
 					opts = append(opts, WithProfile(100_000_000))
 				}

@@ -27,6 +27,9 @@ type Common struct {
 	// Verbose is the -v value; each tool decides what extra output it
 	// unlocks (cache statistics, analysis reports, ...).
 	Verbose bool
+	// Verify is the -verify value: run the internal/verify invariant
+	// checker over the program analyzer's output and fail on violations.
+	Verify bool
 
 	tool       string
 	cpuProf    string
@@ -46,6 +49,7 @@ func New(tool string) *Common { return &Common{tool: tool} }
 func (c *Common) Register(fs *flag.FlagSet) {
 	fs.IntVar(&c.Jobs, "j", 0, "parallel jobs (0 = one per CPU, 1 = sequential)")
 	fs.BoolVar(&c.Verbose, "v", false, "verbose diagnostic output")
+	fs.BoolVar(&c.Verify, "verify", false, "check the analyzer's output against the paper's allocation invariants")
 	fs.StringVar(&c.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&c.memProf, "memprofile", "", "write a heap profile at exit to this file")
 	fs.StringVar(&c.tracePath, "trace", "", "write a Chrome trace-event JSON build trace to this file (chrome://tracing, Perfetto)")

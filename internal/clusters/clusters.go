@@ -564,6 +564,11 @@ func preallocate(g *callgraph.Graph, id *Identification, asn *Assignment, c *Clu
 				used = used.Union(s.Callee.Intersect(av))
 				s.Free = s.Callee.Intersect(av)
 				s.Callee = s.Callee.Minus(s.Free)
+				// The nested root now holds values in its FREE registers
+				// without saving them; they are no longer available to the
+				// nodes it dominates (a descendant picking one as its own
+				// FREE would clobber the nested root's live value).
+				asn.Avail[n] = av.Minus(s.Free)
 			} else {
 				s.Free = pickRegisters(need(n), av, childMSpill)
 				asn.Avail[n] = av.Minus(s.Free)

@@ -304,3 +304,40 @@ func TestAverageSize(t *testing.T) {
 		t.Errorf("average size = %f, want 2.5", got)
 	}
 }
+
+// TestNestedRootFreeExcludedFromAvail pins a preallocation bug: when a
+// nested cluster root's CALLEE registers are converted to FREE use (the
+// outer root spills them instead), those registers hold live values in the
+// nested root without a save — so they must leave the AVAIL set flowing to
+// the nodes it dominates. The register-starved descendant b below would
+// otherwise pick the same registers as its own FREE set and clobber the
+// nested root's values mid-call.
+func TestNestedRootFreeExcludedFromAvail(t *testing.T) {
+	g := buildGraph(t,
+		map[string][]string{"main": {"a"}, "a": {"b"}},
+		nil,
+		map[string]int{"main": 1, "a": 2, "b": 16})
+	mainID := g.NodeByName("main").ID
+	aID := g.NodeByName("a").ID
+	bID := g.NodeByName("b").ID
+
+	inner := &clusters.Cluster{Root: aID}
+	outer := &clusters.Cluster{Root: mainID, Members: []int{aID, bID}}
+	id := &clusters.Identification{
+		Clusters:    []*clusters.Cluster{outer, inner},
+		RootCluster: map[int]*clusters.Cluster{mainID: outer, aID: inner},
+		MemberRoot:  map[int]int{aID: mainID, bID: mainID},
+	}
+
+	asn := clusters.ComputeSets(g, id, need(g), noPromotion)
+	as, bs := asn.Sets[aID], asn.Sets[bID]
+	if as.Free.Empty() {
+		t.Fatalf("nested root a got no FREE registers (fixture no longer exercises the hoist); sets: %+v", as)
+	}
+	if inter := asn.Avail[aID].Intersect(as.Free); !inter.Empty() {
+		t.Errorf("AVAIL[a] still contains a's FREE registers %s", inter)
+	}
+	if inter := as.Free.Intersect(bs.Free); !inter.Empty() {
+		t.Errorf("a and b both use %s as FREE on one call chain", inter)
+	}
+}

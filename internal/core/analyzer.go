@@ -242,6 +242,25 @@ func Analyze(ctx context.Context, summaries []*summary.ModuleSummary, opt Option
 			n = 6
 		}
 		res.Blankets = webs.BlanketSelect(g, res.Sets, allWebs, n)
+		// A blanket web's loads are inserted at its entry procedures. An
+		// entry without a summary record is code we never compile — the
+		// unknown callers of a partial program (§7.2) — so nothing would
+		// load the global and every member reached from it would read a
+		// stale register. Such webs cannot be realized; drop them.
+		kept := res.Blankets[:0]
+		for _, w := range res.Blankets {
+			realizable := true
+			for _, e := range w.Entries {
+				if g.Nodes[e].Rec == nil {
+					realizable = false
+					break
+				}
+			}
+			if realizable {
+				kept = append(kept, w)
+			}
+		}
+		res.Blankets = kept
 		active = res.Blankets
 		res.Stats.WebsColored = len(active)
 	}
@@ -355,25 +374,37 @@ func computeCallClobbers(g *callgraph.Graph, db *pdb.Database) {
 
 	// Bottom-up over the SCC condensation (Tarjan numbers components in
 	// reverse topological order, so ascending SCC index visits callees
-	// first); a second sweep reaches the fixpoint on recursive chains.
+	// first); sweeps repeat until the fixpoint so recursive chains of any
+	// length converge regardless of node numbering. Both quantities grow
+	// monotonically, so the loop terminates.
 	treeLen := make([]int, len(g.Nodes))          // band height of the call tree
-	clobberFree := make([]regs.Set, len(g.Nodes)) // FREE registers used below
-	for sweep := 0; sweep < 2; sweep++ {
-		order := append([]*callgraph.Node(nil), g.Nodes...)
-		sort.SliceStable(order, func(i, j int) bool { return order[i].SCC < order[j].SCC })
+	clobberFree := make([]regs.Set, len(g.Nodes)) // unsaved callee-saves used below
+	calleeSaved := regs.StdCalleeSaved()
+	order := append([]*callgraph.Node(nil), g.Nodes...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].SCC < order[j].SCC })
+	for changed := true; changed; {
+		changed = false
 		for _, nd := range order {
 			if nd.Rec == nil {
 				// External procedure (run-time library): §2 — no
 				// interprocedural allocation across it; assume it uses
 				// every scratch register.
-				treeLen[nd.ID] = len(scratch)
+				if treeLen[nd.ID] != len(scratch) {
+					treeLen[nd.ID] = len(scratch)
+					changed = true
+				}
 				continue
 			}
 			d := db.Procs[nd.Name]
 			childMax := 0
 			var free regs.Set
 			if d != nil {
-				free = d.Free
+				// A call may destroy every callee-saves register the
+				// procedure uses without saving: its FREE set and the
+				// callee-saved registers the cluster post-pass moved into
+				// CALLER — both rely on a dominating root's spill, not on
+				// this procedure restoring them.
+				free = d.Free.Union(d.Caller.Intersect(calleeSaved))
 			}
 			for _, e := range nd.Out {
 				if treeLen[e.To] > childMax {
@@ -389,8 +420,11 @@ func computeCallClobbers(g *callgraph.Graph, db *pdb.Database) {
 			if tl > len(scratch) {
 				tl = len(scratch)
 			}
-			treeLen[nd.ID] = tl
-			clobberFree[nd.ID] = free
+			if tl != treeLen[nd.ID] || free != clobberFree[nd.ID] {
+				treeLen[nd.ID] = tl
+				clobberFree[nd.ID] = free
+				changed = true
+			}
 		}
 	}
 

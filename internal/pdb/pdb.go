@@ -129,7 +129,18 @@ func (d *ProcDirectives) CanonicalBytes() []byte {
 	cp := *d
 	if len(d.Promoted) > 0 {
 		cp.Promoted = append([]PromotedGlobal(nil), d.Promoted...)
-		sort.Slice(cp.Promoted, func(i, j int) bool { return cp.Promoted[i].Name < cp.Promoted[j].Name })
+		sort.Slice(cp.Promoted, func(i, j int) bool {
+			a, b := &cp.Promoted[i], &cp.Promoted[j]
+			// Tiebreak beyond the name so the bytes stay canonical even for
+			// degenerate inputs (a variable promoted twice in one procedure).
+			if a.Name != b.Name {
+				return a.Name < b.Name
+			}
+			if a.WebID != b.WebID {
+				return a.WebID < b.WebID
+			}
+			return a.Reg < b.Reg
+		})
 	}
 	data, err := json.Marshal(&cp)
 	if err != nil {

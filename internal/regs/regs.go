@@ -5,6 +5,7 @@ package regs
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"ipra/internal/parv"
@@ -50,13 +51,7 @@ func (s Set) Minus(t Set) Set { return s &^ t }
 func (s Set) Empty() bool { return s == 0 }
 
 // Count returns the number of members.
-func (s Set) Count() int {
-	n := 0
-	for v := uint32(s); v != 0; v &= v - 1 {
-		n++
-	}
-	return n
-}
+func (s Set) Count() int { return bits.OnesCount32(uint32(s)) }
 
 // Regs returns the members in ascending order.
 func (s Set) Regs() []uint8 {

@@ -80,3 +80,24 @@ func TestString(t *testing.T) {
 		t.Errorf("empty String = %q", got)
 	}
 }
+
+// TestCountMatchesLoop property-checks the bits.OnesCount32-based Count
+// against the classic Kernighan clear-lowest-bit loop it replaced.
+func TestCountMatchesLoop(t *testing.T) {
+	loopCount := func(s Set) int {
+		n := 0
+		for v := uint32(s); v != 0; v &= v - 1 {
+			n++
+		}
+		return n
+	}
+	f := func(a uint32) bool { return Set(a).Count() == loopCount(Set(a)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, s := range []Set{0, Of(0), Of(31), StdCalleeSaved(), StdCallerSaved(), ^Set(0)} {
+		if s.Count() != loopCount(s) {
+			t.Errorf("Count(%s) = %d, want %d", s, s.Count(), loopCount(s))
+		}
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"ipra/internal/pipeline"
 	"ipra/internal/summary"
 	"ipra/internal/telemetry"
+	"ipra/internal/verify"
 )
 
 // Source is one MiniC module (compilation unit).
@@ -365,6 +366,7 @@ type buildSettings struct {
 	buildDir    string
 	tracer      *telemetry.Tracer
 	stderr      io.Writer
+	verify      bool
 }
 
 // WithProfile enables profile-guided compilation (§6.1, Table 4 columns B
@@ -406,6 +408,42 @@ func WithTelemetry(t *telemetry.Tracer) BuildOption {
 // per-module rebuild explanations — to w.
 func WithStderr(w io.Writer) BuildOption {
 	return func(s *buildSettings) { s.stderr = w }
+}
+
+// WithVerify runs the internal/verify invariant checker over the program
+// analyzer's output after each analysis (including the training pass of a
+// profiled build). Every violation is recorded as a telemetry instant
+// event ("verify.violation") and counted on "verify.violations", and the
+// build fails with an error listing them. Builds without an analyzer pass
+// (Level2) have nothing to verify and are unaffected.
+func WithVerify() BuildOption {
+	return func(s *buildSettings) { s.verify = true }
+}
+
+// verifyAnalysis checks one compiled program's analysis against the
+// paper's invariants (no-op when the configuration ran no analyzer).
+func verifyAnalysis(ctx context.Context, p *Program) error {
+	if p == nil || p.Analysis == nil {
+		return nil
+	}
+	res := p.Analysis
+	violations := verify.Check(res.Graph, res.Sets, res.DB)
+	for _, v := range violations {
+		ev := telemetry.Event(ctx, "verify.violation")
+		ev.SetStr("class", v.Class)
+		ev.SetStr("proc", v.Proc)
+		ev.SetStr("detail", v.Detail)
+	}
+	telemetry.Count(ctx, "verify.violations", int64(len(violations)))
+	if len(violations) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(violations))
+	for i, v := range violations {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("verify: %d allocation invariant violation(s):\n  %s",
+		len(violations), strings.Join(msgs, "\n  "))
 }
 
 // BuildResult is the outcome of one Build: the compiled program (its
@@ -463,6 +501,11 @@ func runBuild(ctx context.Context, sources []Source, cfg Config, s buildSettings
 		if err != nil {
 			return err
 		}
+		if s.verify {
+			if err := verifyAnalysis(ctx, p); err != nil {
+				return err
+			}
+		}
 		res.Program, res.Incremental = p, out
 		return nil
 	}
@@ -481,6 +524,11 @@ func runBuild(ctx context.Context, sources []Source, cfg Config, s buildSettings
 	if err != nil {
 		return err
 	}
+	if s.verify {
+		if err := verifyAnalysis(ctx, first); err != nil {
+			return fmt.Errorf("training pass: %w", err)
+		}
+	}
 	_, runSpan := telemetry.StartSpan(ctx, "train-run")
 	train, err := first.Run(s.trainInstrs, true)
 	runSpan.End()
@@ -491,6 +539,11 @@ func runBuild(ctx context.Context, sources []Source, cfg Config, s buildSettings
 	p, out, err := compileWith(ctx, sources, cfg, s.buildDir, s.stderr)
 	if err != nil {
 		return err
+	}
+	if s.verify {
+		if err := verifyAnalysis(ctx, p); err != nil {
+			return err
+		}
 	}
 	res.Program, res.Train, res.Incremental = p, train, out
 	return nil
