@@ -10,7 +10,11 @@
 package callgraph
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 
 	"ipra/internal/ir"
@@ -108,26 +112,7 @@ func Build(summaries []*summary.ModuleSummary) (*Graph, error) {
 	}
 
 	// Merge global tables across modules.
-	for _, ms := range summaries {
-		for i := range ms.Globals {
-			gi := &ms.Globals[i]
-			meta := g.Globals[gi.Name]
-			if meta == nil {
-				meta = &GlobalMeta{Name: gi.Name}
-				g.Globals[gi.Name] = meta
-			}
-			if gi.Defined {
-				meta.Defined = true
-				meta.Module = gi.Module
-				meta.Size = gi.Size
-				meta.Scalar = gi.Scalar
-				meta.Static = gi.Static
-			}
-			if gi.AddrTaken {
-				meta.AddrTaken = true
-			}
-		}
-	}
+	g.mergeGlobals(summaries)
 
 	// Create nodes for every summarized procedure.
 	addNode := func(name, module string, rec *summary.ProcRecord) *Node {
@@ -241,6 +226,264 @@ func (g *Graph) AddSyntheticCaller(name string, targets []int) *Node {
 	g.computeSCC()
 	g.computeDominators()
 	return n
+}
+
+// mergeGlobals folds the module-level global tables into g.Globals.
+func (g *Graph) mergeGlobals(summaries []*summary.ModuleSummary) {
+	for _, ms := range summaries {
+		for i := range ms.Globals {
+			gi := &ms.Globals[i]
+			meta := g.Globals[gi.Name]
+			if meta == nil {
+				meta = &GlobalMeta{Name: gi.Name}
+				g.Globals[gi.Name] = meta
+			}
+			if gi.Defined {
+				meta.Defined = true
+				meta.Module = gi.Module
+				meta.Size = gi.Size
+				meta.Scalar = gi.Scalar
+				meta.Static = gi.Static
+			}
+			if gi.AddrTaken {
+				meta.AddrTaken = true
+			}
+		}
+	}
+}
+
+// NodeSeqHash fingerprints the node identity sequence: every node's name
+// and module in ID order, plus whether it carries a summary record. The
+// incremental analyzer can reuse a stored graph only while this sequence
+// is unchanged, since node IDs index every derived structure (reference
+// sets, web bitsets, cluster maps).
+func (g *Graph) NodeSeqHash() string {
+	h := sha256.New()
+	for _, nd := range g.Nodes {
+		io.WriteString(h, nd.Name)
+		h.Write([]byte{0})
+		io.WriteString(h, nd.Module)
+		if nd.Rec != nil {
+			h.Write([]byte{0, 1})
+		} else {
+			h.Write([]byte{0, 0})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// ExpectedNodeSeqHash predicts, without building a graph, the NodeSeqHash
+// a clean Build over the given summaries would produce. It replays Build's
+// node-creation order: recorded procedures in module and record order,
+// then external direct callees in call order, then any remaining
+// address-taken names. Build adds that last group in map iteration order,
+// which is not reproducible, so when such residue exists the function
+// returns a sentinel that never equals a real hash — the incremental
+// analyzer then refuses to reuse stored state for the program.
+func ExpectedNodeSeqHash(summaries []*summary.ModuleSummary) string {
+	type ent struct {
+		name, module string
+		hasRec       bool
+	}
+	seen := make(map[string]int)
+	var seq []ent
+	add := func(name, module string, rec bool) {
+		if i, ok := seen[name]; ok {
+			if rec {
+				seq[i].hasRec = true
+			}
+			return
+		}
+		seen[name] = len(seq)
+		seq = append(seq, ent{name, module, rec})
+	}
+	addrTaken := make(map[string]bool)
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			rec := &ms.Procs[i]
+			add(rec.Name, rec.Module, true)
+			for _, at := range rec.AddrTakenProcs {
+				addrTaken[at] = true
+			}
+		}
+	}
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			for _, cs := range ms.Procs[i].Calls {
+				add(cs.Callee, "", false)
+			}
+		}
+	}
+	for _, at := range sortedSet(addrTaken) {
+		if _, ok := seen[at]; !ok {
+			return "!addr-taken-residue" // Build's order is map-random here
+		}
+	}
+
+	h := sha256.New()
+	for _, e := range seq {
+		io.WriteString(h, e.name)
+		h.Write([]byte{0})
+		io.WriteString(h, e.module)
+		if e.hasRec {
+			h.Write([]byte{0, 1})
+		} else {
+			h.Write([]byte{0, 0})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// Restore assembles a graph from deserialized nodes and start IDs — the
+// incremental analyzer's state-decode path. Edge lists, SCC labels,
+// dominators, and counts must already be populated on the nodes; the
+// name index and traversal orders are re-derived here.
+func Restore(nodes []*Node, starts []int) *Graph {
+	g := &Graph{
+		Nodes:          nodes,
+		byName:         make(map[string]int, len(nodes)),
+		Starts:         starts,
+		Globals:        make(map[string]*GlobalMeta),
+		AddrTakenProcs: make(map[string]bool),
+	}
+	for _, nd := range nodes {
+		g.byName[nd.Name] = nd.ID
+	}
+	g.recomputeOrders()
+	return g
+}
+
+// SCCSignature fingerprints the strongly-connected-component structure in
+// a labeling-independent way: for every node in ID order, the minimum
+// node ID in its component plus its Recursive flag. Two graphs have equal
+// signatures exactly when their SCC partitions and recursion flags agree,
+// regardless of how Tarjan numbered the components.
+func (g *Graph) SCCSignature() string {
+	minRep := make(map[int]int)
+	for _, nd := range g.Nodes {
+		if r, ok := minRep[nd.SCC]; !ok || nd.ID < r {
+			minRep[nd.SCC] = nd.ID
+		}
+	}
+	h := sha256.New()
+	var buf [9]byte
+	for _, nd := range g.Nodes {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(minRep[nd.SCC]))
+		buf[8] = 0
+		if nd.Recursive {
+			buf[8] = 1
+		}
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// BindRecords rebinds fresh summary records onto the existing node set:
+// the merged global table, per-node Rec pointers, and the address-taken
+// procedure set are all re-derived, while node identities and edges are
+// left alone. It mirrors Build's duplicate-definition semantics — the
+// first defining record fixes the node's Module, later records only
+// replace Rec. A record or address-taken name that has no node returns an
+// error, signalling the caller to fall back to a full Build.
+func (g *Graph) BindRecords(summaries []*summary.ModuleSummary) error {
+	g.Globals = make(map[string]*GlobalMeta)
+	g.mergeGlobals(summaries)
+
+	for _, nd := range g.Nodes {
+		nd.Rec = nil
+	}
+	g.AddrTakenProcs = make(map[string]bool)
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			rec := &ms.Procs[i]
+			id, ok := g.byName[rec.Name]
+			if !ok {
+				return fmt.Errorf("callgraph: rebuild would add node %s", rec.Name)
+			}
+			nd := g.Nodes[id]
+			if nd.Rec == nil {
+				nd.Module = rec.Module
+			}
+			nd.Rec = rec
+			for _, at := range rec.AddrTakenProcs {
+				if _, ok := g.byName[at]; !ok {
+					return fmt.Errorf("callgraph: rebuild would add node %s", at)
+				}
+				g.AddrTakenProcs[at] = true
+			}
+		}
+	}
+	return nil
+}
+
+// RebuildEdges re-derives the whole edge set, global tables, start nodes,
+// and graph orders from fresh summaries over the existing node set — the
+// incremental analyzer's structural-edit path. The summaries must
+// describe the same node identity sequence the graph was built from
+// (guarded by NodeSeqHash); a summary that would introduce a new node
+// returns an error, signalling the caller to fall back to a full Build.
+//
+// Edges are re-added in Build's exact iteration order, so per-node In and
+// Out lists — whose order feeds float summations downstream — match a
+// clean Build byte for byte.
+func (g *Graph) RebuildEdges(summaries []*summary.ModuleSummary) error {
+	if err := g.BindRecords(summaries); err != nil {
+		return err
+	}
+	for _, nd := range g.Nodes {
+		nd.In = nd.In[:0]
+		nd.Out = nd.Out[:0]
+	}
+
+	addEdge := func(from, to int, freq int64, indirect bool) {
+		e := &Edge{From: from, To: to, LocalFreq: freq, Indirect: indirect}
+		g.Nodes[from].Out = append(g.Nodes[from].Out, e)
+		g.Nodes[to].In = append(g.Nodes[to].In, e)
+	}
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			rec := &ms.Procs[i]
+			from := g.byName[rec.Name]
+			for _, cs := range rec.Calls {
+				to, ok := g.byName[cs.Callee]
+				if !ok {
+					return fmt.Errorf("callgraph: rebuild would add node %s", cs.Callee)
+				}
+				addEdge(from, to, cs.Freq, false)
+			}
+			if rec.MakesIndirectCalls {
+				targets := sortedSet(g.AddrTakenProcs)
+				for _, t := range targets {
+					freq := rec.IndirectCallFreq / int64(len(targets))
+					if freq == 0 {
+						freq = 1
+					}
+					addEdge(from, g.byName[t], freq, true)
+				}
+			}
+		}
+	}
+
+	g.Starts = g.Starts[:0]
+	for _, n := range g.Nodes {
+		if len(n.In) == 0 {
+			g.Starts = append(g.Starts, n.ID)
+		}
+	}
+	if len(g.Starts) == 0 {
+		if id, ok := g.byName["main"]; ok {
+			g.Starts = []int{id}
+		} else if len(g.Nodes) > 0 {
+			g.Starts = []int{0}
+		} else {
+			return fmt.Errorf("callgraph: empty program")
+		}
+	}
+
+	g.recomputeOrders()
+	g.computeSCC()
+	g.computeDominators()
+	return nil
 }
 
 func sortedSet(m map[string]bool) []string {

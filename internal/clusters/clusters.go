@@ -457,10 +457,12 @@ func StandardSets() *Sets {
 	return &Sets{Caller: regs.StdCallerSaved(), Callee: regs.StdCalleeSaved()}
 }
 
-// Assignment carries the computed sets and AVAIL information per node.
+// Assignment carries the computed sets and AVAIL information per node,
+// indexed by node ID (node IDs are dense, so flat slices beat maps on the
+// analyzer's hot path).
 type Assignment struct {
-	Sets  map[int]*Sets
-	Avail map[int]regs.Set
+	Sets  []*Sets
+	Avail []regs.Set
 }
 
 // ComputeSets runs the Figure 6 preallocation over every cluster in
@@ -471,9 +473,13 @@ type Assignment struct {
 // reserved at node n for interprocedurally promoted globals (webs), which
 // are excluded from preallocation over any cluster containing n.
 func ComputeSets(g *callgraph.Graph, id *Identification, need func(int) int, promoted func(int) regs.Set) *Assignment {
-	asn := &Assignment{Sets: make(map[int]*Sets), Avail: make(map[int]regs.Set)}
-	for _, nd := range g.Nodes {
-		asn.Sets[nd.ID] = StandardSets()
+	n := len(g.Nodes)
+	asn := &Assignment{Sets: make([]*Sets, n), Avail: make([]regs.Set, n)}
+	backing := make([]Sets, n)
+	std := Sets{Caller: regs.StdCallerSaved(), Callee: regs.StdCalleeSaved()}
+	for i := range backing {
+		backing[i] = std
+		asn.Sets[i] = &backing[i]
 	}
 
 	// Bottom-up over clusters: nested clusters (whose roots are deeper in
@@ -484,15 +490,29 @@ func ComputeSets(g *callgraph.Graph, id *Identification, need func(int) int, pro
 		return g.Nodes[order[i].Root].DomDepth > g.Nodes[order[j].Root].DomDepth
 	})
 
+	// Scratch bitsets shared by every preallocate call: both only ever
+	// hold bits for the current cluster's nodes, which preallocate clears
+	// on exit — far cheaper than a fresh allocation per cluster.
+	scratch := &preallocScratch{
+		inCluster: ir.NewBitSet(n),
+		visited:   ir.NewBitSet(n),
+	}
 	for _, c := range order {
-		preallocate(g, id, asn, c, need, promoted)
+		preallocate(g, id, asn, c, need, promoted, scratch)
 	}
 	return asn
 }
 
+// preallocScratch holds per-cluster working bitsets reused across the
+// bottom-up sweep.
+type preallocScratch struct {
+	inCluster ir.BitSet
+	visited   ir.BitSet
+}
+
 // preallocate processes one cluster: Figure 6 plus the MSPILL/CALLER
 // post-passes of §4.2.4.
-func preallocate(g *callgraph.Graph, id *Identification, asn *Assignment, c *Cluster, need func(int) int, promoted func(int) regs.Set) {
+func preallocate(g *callgraph.Graph, id *Identification, asn *Assignment, c *Cluster, need func(int) int, promoted func(int) regs.Set, scratch *preallocScratch) {
 	r := c.Root
 	std := regs.StdCalleeSaved()
 
@@ -528,14 +548,23 @@ func preallocate(g *callgraph.Graph, id *Identification, asn *Assignment, c *Clu
 	rootSets.Callee = calleeR
 	asn.Avail[r] = avail.Minus(calleeR)
 
-	inCluster := ir.NewBitSet(len(g.Nodes))
+	inCluster := scratch.inCluster
 	inCluster.Set(r)
 	for _, m := range c.Members {
 		inCluster.Set(m)
 	}
+	defer func() {
+		// Both scratch sets only gained bits for this cluster's nodes.
+		scratch.inCluster.Clear(r)
+		scratch.visited.Clear(r)
+		for _, m := range c.Members {
+			scratch.inCluster.Clear(m)
+			scratch.visited.Clear(m)
+		}
+	}()
 
 	var used regs.Set
-	visited := ir.NewBitSet(len(g.Nodes))
+	visited := scratch.visited
 	var visit func(n int)
 	visit = func(n int) {
 		visited.Set(n)

@@ -146,207 +146,22 @@ func Analyze(ctx context.Context, summaries []*summary.ModuleSummary, opt Option
 	defer span.End()
 	span.SetInt("modules", int64(len(summaries)))
 
-	_, cgSpan := telemetry.StartSpan(ctx, "callgraph")
-	g, err := callgraph.Build(summaries)
-	if err != nil {
-		cgSpan.End()
+	a := newAnalysis(opt)
+	if err := a.stageGraph(ctx, summaries); err != nil {
 		return nil, err
 	}
-	if opt.PartialProgram {
-		applyPartialAssumptions(g)
+	a.stageRefsets(ctx)   // ---- Global variable promotion (§4.1).
+	a.stageWebs(ctx)
+	a.stageColoring(ctx)
+	a.stageClusters(ctx)  // ---- Spill code motion (§4.2).
+	a.stageClusterSets()
+	if err := a.stageDirectives(ctx); err != nil {
+		return nil, err
 	}
-	if opt.Profile != nil {
-		g.ApplyProfile(opt.Profile)
-	} else {
-		g.EstimateCounts()
-	}
-	cgSpan.SetInt("nodes", int64(len(g.Nodes)))
-	cgSpan.SetInt("starts", int64(len(g.Starts)))
-	cgSpan.End()
-
-	res := &Result{Graph: g, DB: pdb.New()}
-
-	// ---- Global variable promotion (§4.1).
-	_, rsSpan := telemetry.StartSpan(ctx, "refsets")
-	eligible := refsets.EligibleGlobals(g)
-	res.Sets = refsets.Compute(g, eligible)
-	res.Stats.EligibleGlobals = len(eligible)
-	res.DB.EligibleGlobals = eligible
-	rsSpan.SetInt("eligible", int64(len(eligible)))
-	rsSpan.End()
-
-	_, webSpan := telemetry.StartSpan(ctx, "webs")
-	allWebs := webs.IdentifyJobs(g, res.Sets, opt.Jobs)
-	webs.ComputePriorities(g, res.Sets, allWebs)
-	if opt.MergeWebs {
-		allWebs = webs.Merge(g, res.Sets, allWebs)
-		webs.ComputePriorities(g, res.Sets, allWebs)
-	}
-	if opt.Filter == (webs.FilterOptions{}) {
-		opt.Filter = webs.DefaultFilter()
-	}
-	webs.Filter(allWebs, opt.Filter)
-	discardCrossModuleStatics(g, allWebs)
-	discardUncompilableWebs(g, allWebs)
-	res.Webs = allWebs
-	res.Stats.WebsFound = len(allWebs)
-	for _, w := range allWebs {
-		if !w.Discarded {
-			res.Stats.WebsConsidered++
-		}
-	}
-	webSpan.SetInt("found", int64(res.Stats.WebsFound))
-	webSpan.SetInt("considered", int64(res.Stats.WebsConsidered))
-	webSpan.End()
-
-	// Registers for webs are taken from the top of the callee-saves set
-	// (the cluster preallocation fills from the bottom, minimizing
-	// contention).
-	webReg := func(color int) uint8 { return uint8(parv.CalleeSavedLast - color) }
-
-	_, colSpan := telemetry.StartSpan(ctx, "coloring")
-	colSpan.SetStr("mode", opt.Promotion.String())
-	var active []*webs.Web
-	switch opt.Promotion {
-	case PromoteColoring:
-		k := opt.ColoringRegs
-		if k <= 0 {
-			k = 6
-		}
-		if k > 16 {
-			k = 16
-		}
-		res.Stats.WebsColored = webs.Color(allWebs, k)
-		for _, w := range allWebs {
-			if !w.Discarded && w.Color >= 0 {
-				active = append(active, w)
-			}
-		}
-	case PromoteGreedy:
-		need := func(n int) int {
-			nd := g.Nodes[n]
-			if nd.Rec == nil {
-				return 0
-			}
-			return nd.Rec.CalleeSavesBase
-		}
-		res.Stats.WebsColored = webs.GreedyColor(allWebs, g, need, 16)
-		for _, w := range allWebs {
-			if !w.Discarded && w.Color >= 0 {
-				active = append(active, w)
-			}
-		}
-	case PromoteBlanket:
-		n := opt.BlanketCount
-		if n <= 0 {
-			n = 6
-		}
-		res.Blankets = webs.BlanketSelect(g, res.Sets, allWebs, n)
-		// A blanket web's loads are inserted at its entry procedures. An
-		// entry without a summary record is code we never compile — the
-		// unknown callers of a partial program (§7.2) — so nothing would
-		// load the global and every member reached from it would read a
-		// stale register. Such webs cannot be realized; drop them.
-		kept := res.Blankets[:0]
-		for _, w := range res.Blankets {
-			realizable := true
-			for _, e := range w.Entries {
-				if g.Nodes[e].Rec == nil {
-					realizable = false
-					break
-				}
-			}
-			if realizable {
-				kept = append(kept, w)
-			}
-		}
-		res.Blankets = kept
-		active = res.Blankets
-		res.Stats.WebsColored = len(active)
-	}
-	colSpan.SetInt("colored", int64(res.Stats.WebsColored))
-	colSpan.End()
-
-	// promotedAt[n] is the register set reserved at node n for webs.
-	promotedAt := make(map[int]regs.Set)
-	for _, w := range active {
-		r := webReg(w.Color)
-		w.Nodes.ForEach(func(id int) {
-			promotedAt[id] = promotedAt[id].Add(r)
-		})
-	}
-
-	// ---- Spill code motion (§4.2).
-	var asn *clusters.Assignment
-	if opt.SpillMotion {
-		_, clSpan := telemetry.StartSpan(ctx, "clusters")
-		if opt.Cluster.RootBias == 0 {
-			opt.Cluster = clusters.DefaultOptions()
-		}
-		res.Clusters = clusters.Identify(g, opt.Cluster)
-		clusters.Prune(g, res.Clusters, needFunc(g))
-		asn = clusters.ComputeSets(g, res.Clusters, needFunc(g), func(n int) regs.Set {
-			return promotedAt[n]
-		})
-		res.Stats.Clusters = len(res.Clusters.Clusters)
-		res.Stats.AvgClusterSize = res.Clusters.AverageSize()
-		clSpan.SetInt("clusters", int64(res.Stats.Clusters))
-		clSpan.End()
-	}
-
-	// ---- Assemble the program database.
-	_, dbSpan := telemetry.StartSpan(ctx, "directives")
-	defer dbSpan.End()
-	needStore := webNeedsStore(g, active)
-	for _, nd := range g.Nodes {
-		if nd.Rec == nil {
-			continue // external procedure: nothing to direct
-		}
-		var d *pdb.ProcDirectives
-		if asn != nil {
-			s := asn.Sets[nd.ID]
-			d = &pdb.ProcDirectives{
-				Name: nd.Name,
-				Free: s.Free, Caller: s.Caller, Callee: s.Callee, MSpill: s.MSpill,
-				IsClusterRoot: res.Clusters.IsRoot(nd.ID),
-			}
-		} else {
-			d = pdb.Standard(nd.Name)
-		}
-		// Promoted registers are unavailable for any other purpose in web
-		// procedures: remove them from every usage set (§5).
-		if pset := promotedAt[nd.ID]; !pset.Empty() {
-			d.Free = d.Free.Minus(pset)
-			d.Caller = d.Caller.Minus(pset)
-			d.Callee = d.Callee.Minus(pset)
-			d.MSpill = d.MSpill.Minus(pset)
-		}
-		for _, w := range active {
-			if !w.Nodes.Has(nd.ID) {
-				continue
-			}
-			d.Promoted = append(d.Promoted, pdb.PromotedGlobal{
-				Name:      w.Var,
-				Reg:       webReg(w.Color),
-				IsEntry:   w.IsEntry(nd.ID),
-				NeedStore: needStore[w],
-				WebID:     w.ID,
-			})
-		}
-		sort.Slice(d.Promoted, func(i, j int) bool { return d.Promoted[i].Name < d.Promoted[j].Name })
-		if err := d.Validate(); err != nil {
-			return nil, fmt.Errorf("analyzer produced inconsistent directives: %w", err)
-		}
-		res.DB.Procs[nd.Name] = d
-	}
-
-	if opt.CallerSavesPreallocation {
-		computeCallClobbers(g, res.DB)
-	}
-	telemetry.Count(ctx, "analyzer.webs", int64(res.Stats.WebsFound))
-	telemetry.Count(ctx, "analyzer.webs_colored", int64(res.Stats.WebsColored))
-	telemetry.Count(ctx, "analyzer.clusters", int64(res.Stats.Clusters))
-	return res, nil
+	telemetry.Count(ctx, "analyzer.webs", int64(a.res.Stats.WebsFound))
+	telemetry.Count(ctx, "analyzer.webs_colored", int64(a.res.Stats.WebsColored))
+	telemetry.Count(ctx, "analyzer.clusters", int64(a.res.Stats.Clusters))
+	return a.res, nil
 }
 
 // computeCallClobbers implements the §7.6.2 caller-saves preallocation in

@@ -63,6 +63,14 @@ type Toolchain struct {
 	Phase1 func(ctx context.Context, name string, text []byte) (*ir.Module, *summary.ModuleSummary, error)
 	// Analyze runs the program analyzer over the merged summary set.
 	Analyze func(ctx context.Context, sums []*summary.ModuleSummary) (*pdb.Database, error)
+	// AnalyzeIncremental, when non-nil, replaces Analyze: it receives the
+	// modules whose phase 1 re-ran (a sound superset of the changed
+	// summaries) and the previously persisted analyzer state, and returns
+	// the database, the refreshed state to persist (nil to persist
+	// nothing), and a reuse record. The database must be byte-identical to
+	// what Analyze would return — the engine treats analyzer reuse as pure
+	// memoization, exactly like its own phase caches.
+	AnalyzeIncremental func(ctx context.Context, sums []*summary.ModuleSummary, dirty []string, prevState []byte) (*pdb.Database, []byte, *AnalyzerReuse, error)
 	// Phase2 returns the per-module second-phase compiler for a database
 	// (the closure lets the caller precompute database-wide state, e.g.
 	// the eligibility set, once per build).
@@ -78,6 +86,21 @@ type Options struct {
 	// Explain, when non-nil, receives one line per module explaining why
 	// it was or wasn't rebuilt, plus a summary line.
 	Explain io.Writer
+}
+
+// AnalyzerReuse records what the incremental program analyzer reused for
+// one build (toolchain-level mirror of the analyzer's own reuse stats,
+// kept here so this package needs no import of the analyzer).
+type AnalyzerReuse struct {
+	// Fallback names why a full analysis ran ("" when the incremental
+	// path succeeded).
+	Fallback     string
+	DirtyModules int
+	WebsReused   int
+	WebsRebuilt  int
+	// ClustersRebuilt reports whether spill-motion clusters were
+	// re-identified rather than reused.
+	ClustersRebuilt bool
 }
 
 // Action records what Build did for one module and why.
@@ -100,6 +123,9 @@ type Outcome struct {
 
 	Actions                        []Action
 	Phase1Rebuilds, Phase2Rebuilds int
+	// Analyzer reports what the incremental program analyzer reused; nil
+	// when the toolchain has no AnalyzeIncremental hook.
+	Analyzer *AnalyzerReuse
 	// StateReset is true when an existing build directory's state was
 	// rejected (format/toolchain fingerprint mismatch or corruption).
 	StateReset bool
@@ -185,8 +211,33 @@ func Build(ctx context.Context, dir string, sources []Source, tc Toolchain, opts
 	}
 
 	// ---- Program analyzer: always re-run on the merged summary set (it
-	// needs the whole program, and costs far less than a module compile).
-	db, err := tc.Analyze(ctx, out.Summaries)
+	// needs the whole program). With an AnalyzeIncremental hook, the
+	// persisted analyzer state lets the run rebuild only the slices the
+	// phase-1 rebuilds invalidated.
+	var analyzerState []byte
+	var prevAnalyzerState []byte
+	var db *pdb.Database
+	if tc.AnalyzeIncremental != nil {
+		var dirty []string
+		for i := range out.Actions {
+			if out.Actions[i].Phase1Rebuilt {
+				dirty = append(dirty, out.Actions[i].Module)
+			}
+		}
+		prevAnalyzerState = st.loadAnalyzerState()
+		var reuse *AnalyzerReuse
+		db, analyzerState, reuse, err = tc.AnalyzeIncremental(ctx, out.Summaries, dirty, prevAnalyzerState)
+		out.Analyzer = reuse
+		if reuse != nil {
+			if reuse.Fallback == "" {
+				telemetry.Count(ctx, "incremental.analyzer_incremental", 1)
+			} else {
+				telemetry.Count(ctx, "incremental.analyzer_fallbacks", 1)
+			}
+		}
+	} else {
+		db, err = tc.Analyze(ctx, out.Summaries)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -292,6 +343,11 @@ func Build(ctx context.Context, dir string, sources []Source, tc Toolchain, opts
 	if err := st.save(next); err != nil {
 		return nil, err
 	}
+	if analyzerState != nil {
+		if err := st.saveAnalyzerState(next, analyzerState, prevAnalyzerState); err != nil {
+			return nil, err
+		}
+	}
 	persistSpan.End()
 
 	for _, a := range out.Actions {
@@ -378,6 +434,14 @@ func explain(w io.Writer, st *store, out *Outcome) {
 			a.Module,
 			phase(a.Phase1Rebuilt, a.Phase1Reason),
 			phase(a.Phase2Rebuilt, a.Phase2Reason))
+	}
+	if r := out.Analyzer; r != nil {
+		if r.Fallback != "" {
+			fmt.Fprintf(w, "incremental: analyzer: full analysis (%s)\n", r.Fallback)
+		} else {
+			fmt.Fprintf(w, "incremental: analyzer: %d webs reused, %d rebuilt (%d dirty modules)\n",
+				r.WebsReused, r.WebsRebuilt, r.DirtyModules)
+		}
 	}
 	fmt.Fprintf(w, "incremental: %d/%d phase-1 recompiles, %d/%d phase-2 recompiles\n",
 		out.Phase1Rebuilds, len(out.Actions), out.Phase2Rebuilds, len(out.Actions))

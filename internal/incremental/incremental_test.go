@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ipra/internal/ir"
 	"ipra/internal/parv"
@@ -348,5 +349,116 @@ func TestDiffDirectives(t *testing.T) {
 	}
 	if got := diffDirectives(prev, prev); got != nil {
 		t.Errorf("self-diff = %v, want empty", got)
+	}
+}
+
+// withAnalyzerHook wraps a fake toolchain with an AnalyzeIncremental hook
+// that records the state it was offered and persists a recognizable blob.
+func withAnalyzerHook(tc Toolchain, gotPrev *[][]byte) Toolchain {
+	analyze := tc.Analyze
+	tc.AnalyzeIncremental = func(ctx context.Context, sums []*summary.ModuleSummary, dirty []string, prevState []byte) (*pdb.Database, []byte, *AnalyzerReuse, error) {
+		*gotPrev = append(*gotPrev, prevState)
+		db, err := analyze(ctx, sums)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		reuse := &AnalyzerReuse{DirtyModules: len(dirty), WebsReused: len(db.Procs)}
+		if prevState == nil {
+			reuse.Fallback = "no analyzer state"
+		}
+		return db, []byte("analyzer-state-blob"), reuse, nil
+	}
+	return tc
+}
+
+// TestAnalyzerStatePersistence checks the analyzer.state round trip: the
+// first build sees no state, repeat builds see exactly what the previous
+// build persisted, and a manifest written without the state file (an older
+// binary's build) invalidates the stored state instead of offering it.
+func TestAnalyzerStatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	var gotPrev [][]byte
+	tc := withAnalyzerHook(ft.toolchain(), &gotPrev)
+
+	var buf bytes.Buffer
+	out := mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1, Explain: &buf})
+	if out.Analyzer == nil || out.Analyzer.Fallback == "" {
+		t.Fatalf("first build: Analyzer = %+v, want a no-state fallback", out.Analyzer)
+	}
+	if len(gotPrev) != 1 || gotPrev[0] != nil {
+		t.Fatalf("first build offered state %q, want none", gotPrev)
+	}
+	if !strings.Contains(buf.String(), "analyzer: full analysis (no analyzer state)") {
+		t.Errorf("explain output missing analyzer fallback line:\n%s", &buf)
+	}
+
+	buf.Reset()
+	out = mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1, Explain: &buf})
+	if len(gotPrev) != 2 || string(gotPrev[1]) != "analyzer-state-blob" {
+		t.Fatalf("repeat build offered state %q, want the persisted blob", gotPrev[1])
+	}
+	if out.Analyzer == nil || out.Analyzer.Fallback != "" {
+		t.Errorf("repeat build: Analyzer = %+v, want incremental", out.Analyzer)
+	}
+	if !strings.Contains(buf.String(), "webs reused") {
+		t.Errorf("explain output missing analyzer reuse line:\n%s", &buf)
+	}
+
+	// An edited build still receives the state (it is bound to the manifest
+	// the state was saved with; the dirty list carries the change).
+	edited := twoModules()
+	edited[1].Text = []byte("helper>leaf leaf extra")
+	out = mustBuild(t, dir, edited, tc, Options{Jobs: 1})
+	if len(gotPrev) != 3 || string(gotPrev[2]) != "analyzer-state-blob" {
+		t.Fatalf("edited build offered state %q, want the persisted blob", gotPrev[2])
+	}
+	if out.Analyzer.DirtyModules != 1 {
+		t.Errorf("edited build: DirtyModules = %d, want 1", out.Analyzer.DirtyModules)
+	}
+
+	// A build through a toolchain without the hook — an older binary —
+	// advances the manifest without refreshing analyzer.state. The stored
+	// state now belongs to a different manifest generation and must be
+	// dropped, not offered.
+	older := twoModules()
+	older[0].Text = []byte("main>helper main>leaf main-extra")
+	mustBuild(t, dir, older, ft.toolchain(), Options{Jobs: 1})
+	out = mustBuild(t, dir, older, tc, Options{Jobs: 1})
+	if len(gotPrev) != 4 || gotPrev[3] != nil {
+		t.Fatalf("stale analyzer state offered after an out-of-band manifest update: %q", gotPrev[3])
+	}
+	if out.Analyzer == nil || out.Analyzer.Fallback == "" {
+		t.Errorf("stale-state build: Analyzer = %+v, want fallback", out.Analyzer)
+	}
+}
+
+// TestAnalyzerStateSkipsNoOpWrite ensures a no-edit rebuild does not
+// rewrite analyzer.state when neither the sources nor the state moved.
+func TestAnalyzerStateSkipsNoOpWrite(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	var gotPrev [][]byte
+	tc := withAnalyzerHook(ft.toolchain(), &gotPrev)
+	mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1})
+
+	path := filepath.Join(dir, analyzerStateName)
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make any rewrite observable regardless of timestamp resolution.
+	if err := os.Chtimes(path, before.ModTime().Add(-time.Hour), before.ModTime().Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ = os.Stat(path)
+
+	mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1})
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("no-op rebuild rewrote analyzer.state")
 	}
 }

@@ -19,10 +19,14 @@
 package incremental
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"ipra/internal/cache"
@@ -165,6 +169,74 @@ func (s *store) writePhase1(module string, m *ir.Module, sum *summary.ModuleSumm
 func (s *store) writeObject(module string, o *parv.Object) (string, error) {
 	base := artifactFile("obj", module)
 	return base, parv.WriteObjectFile(filepath.Join(s.dir, base), o)
+}
+
+// analyzerStateName is the persisted analyzer state file. Its content is
+// opaque to this package (the AnalyzeIncremental hook owns the format); a
+// small header binds it to the manifest it was saved alongside, so state
+// from any other manifest generation — including one written by an older
+// binary that did not know about this file — is never trusted.
+const analyzerStateName = "analyzer.state"
+
+const analyzerStateMagic = "ipra-analyzer-store/v1\n"
+
+// manifestDigest fingerprints a manifest's source set: the analyzer state
+// is valid exactly while every module summary it stamped is still the one
+// phase 1 derives, which is a function of the per-module source hashes.
+func manifestDigest(m manifest) string {
+	names := make([]string, 0, len(m.Modules))
+	for name := range m.Modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		io.WriteString(h, m.Modules[name].SourceHash)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// loadAnalyzerState returns the stored analyzer state bytes, or nil when
+// absent, unreadable, or bound to a different manifest generation.
+func (s *store) loadAnalyzerState() []byte {
+	data, err := os.ReadFile(filepath.Join(s.dir, analyzerStateName))
+	if err != nil {
+		return nil
+	}
+	rest, ok := strings.CutPrefix(string(data), analyzerStateMagic)
+	if !ok {
+		return nil
+	}
+	digest, body, ok := strings.Cut(rest, "\n")
+	if !ok || digest != manifestDigest(s.prev) {
+		return nil
+	}
+	return []byte(body)
+}
+
+// saveAnalyzerState persists the analyzer state bound to the manifest just
+// saved. A write is skipped when nothing moved: same bytes, same sources.
+func (s *store) saveAnalyzerState(next manifest, state, prevState []byte) error {
+	digest := manifestDigest(next)
+	if prevState != nil && string(prevState) == string(state) && digest == manifestDigest(s.prev) {
+		return nil
+	}
+	data := make([]byte, 0, len(analyzerStateMagic)+len(digest)+1+len(state))
+	data = append(data, analyzerStateMagic...)
+	data = append(data, digest...)
+	data = append(data, '\n')
+	data = append(data, state...)
+	tmp := filepath.Join(s.dir, analyzerStateName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, analyzerStateName)); err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	return nil
 }
 
 // save atomically replaces the manifest and prunes artifact files no

@@ -119,28 +119,39 @@ func (d *ProcDirectives) Validate() error {
 	return nil
 }
 
+// promotedLess is the canonical ordering of promotion lists: name-major,
+// with web and register tiebreaks so the bytes stay canonical even for
+// degenerate inputs (a variable promoted twice in one procedure).
+func promotedLess(a, b *PromotedGlobal) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.WebID != b.WebID {
+		return a.WebID < b.WebID
+	}
+	return a.Reg < b.Reg
+}
+
+// SortPromoted puts a promotion list into the canonical order
+// CanonicalBytes serializes in. Producers that sort at construction time
+// let every later hash of the directives skip its defensive copy-and-sort.
+func SortPromoted(ps []PromotedGlobal) {
+	sort.Slice(ps, func(i, j int) bool { return promotedLess(&ps[i], &ps[j]) })
+}
+
 // CanonicalBytes returns a stable serialization of the directives: the
-// JSON encoding with the Promoted list sorted by global name. Two
+// JSON encoding with the Promoted list in canonical order. Two
 // semantically identical directive sets always produce the same bytes, no
 // matter what order the analyzer emitted the promotions in, so the bytes
 // (and DirectiveHash over them) are safe to persist and compare across
 // builds.
 func (d *ProcDirectives) CanonicalBytes() []byte {
 	cp := *d
-	if len(d.Promoted) > 0 {
+	if len(d.Promoted) > 1 && !sort.SliceIsSorted(d.Promoted, func(i, j int) bool {
+		return promotedLess(&d.Promoted[i], &d.Promoted[j])
+	}) {
 		cp.Promoted = append([]PromotedGlobal(nil), d.Promoted...)
-		sort.Slice(cp.Promoted, func(i, j int) bool {
-			a, b := &cp.Promoted[i], &cp.Promoted[j]
-			// Tiebreak beyond the name so the bytes stay canonical even for
-			// degenerate inputs (a variable promoted twice in one procedure).
-			if a.Name != b.Name {
-				return a.Name < b.Name
-			}
-			if a.WebID != b.WebID {
-				return a.WebID < b.WebID
-			}
-			return a.Reg < b.Reg
-		})
+		SortPromoted(cp.Promoted)
 	}
 	data, err := json.Marshal(&cp)
 	if err != nil {

@@ -1,0 +1,323 @@
+// Deterministic seeded edit mutation: given a generated program, produce
+// the program "one edit later". The incremental-analyzer tests and
+// benchmarks replay these edits — a no-op touch, a single-procedure body
+// change, a new call edge, a new recursion cycle — and assert that
+// incremental re-analysis matches a clean analysis byte for byte.
+//
+// Like Generate, mutation is a pure function of its inputs: the same
+// (cfg, seed, kind) always picks the same procedure and applies the same
+// edit, in one process or across processes.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+
+	"ipra/internal/summary"
+)
+
+// EditKind names one mutation shape.
+type EditKind string
+
+const (
+	// EditNoop touches a module without changing its meaning (a comment at
+	// source level, nothing at summary level): phase 1 re-runs, the
+	// analyzer should reuse everything.
+	EditNoop EditKind = "noop"
+	// EditBody changes one procedure's body: global reference frequencies
+	// move and one new global reference appears, but no call edge changes.
+	EditBody EditKind = "body"
+	// EditCall adds one acyclic call edge out of one procedure.
+	EditCall EditKind = "call"
+	// EditCycle adds a back edge closing a recursion cycle — the SCC
+	// structure changes, which the incremental analyzer must detect and
+	// answer with a full re-analysis.
+	EditCycle EditKind = "scc"
+)
+
+// EditKinds lists every mutation shape.
+func EditKinds() []EditKind { return []EditKind{EditNoop, EditBody, EditCall, EditCycle} }
+
+// pickProc deterministically chooses the edited procedure: any procedure
+// except the first few rows (kept clean so start-node shapes stay boring)
+// and except the last (EditCall needs a higher-numbered callee).
+func pickProc(cfg Config, rng *rand.Rand) int {
+	cfg = cfg.withDefaults()
+	nprocs := cfg.Modules * cfg.ProcsPerModule
+	lo := cfg.Modules
+	if lo >= nprocs-1 {
+		lo = 0
+	}
+	return lo + rng.Intn(nprocs-1-lo)
+}
+
+// MutateSummaries returns a copy of the generated summaries with one edit
+// applied, plus a description of the edit. Unedited modules are shared
+// with the input slice; the edited module is deep-copied. The summaries
+// must come from GenerateSummaries(cfg).
+func MutateSummaries(cfg Config, sums []*summary.ModuleSummary, seed int64, kind EditKind) ([]*summary.ModuleSummary, string) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*summary.ModuleSummary, len(sums))
+	copy(out, sums)
+	if kind == EditNoop {
+		return out, "no-op"
+	}
+
+	pi := pickProc(cfg, rng)
+	mi := pi % cfg.Modules
+	ms := copyModuleSummary(sums[mi])
+	out[mi] = ms
+	rec := findRecord(ms, fmt.Sprintf("p%d", pi))
+	if rec == nil {
+		return out, "no-op (procedure not found)"
+	}
+
+	switch kind {
+	case EditBody:
+		// Shift an existing reference's weight and introduce one reference
+		// the procedure did not have, borrowed from a sibling record so the
+		// variable certainly exists.
+		rec.GlobalRefs[0].Freq += 3
+		rec.GlobalRefs[0].Reads += 3
+		if name := borrowGlobal(ms, rec); name != "" {
+			rec.GlobalRefs = append(rec.GlobalRefs, summary.GlobalRef{Name: name, Freq: 1, Reads: 1})
+			sort.Slice(rec.GlobalRefs, func(i, j int) bool { return rec.GlobalRefs[i].Name < rec.GlobalRefs[j].Name })
+			return out, fmt.Sprintf("body edit in p%d (+ref %s)", pi, name)
+		}
+		return out, fmt.Sprintf("body edit in p%d", pi)
+
+	case EditCall:
+		nprocs := cfg.Modules * cfg.ProcsPerModule
+		callee := pi + 1 + rng.Intn(nprocs-pi-1)
+		name := fmt.Sprintf("p%d", callee)
+		for _, cs := range rec.Calls {
+			if cs.Callee == name {
+				// Already called: adding a call site just raises the
+				// frequency, like a second source-level call would.
+				bumpCall(rec, name, 2)
+				return out, fmt.Sprintf("call edit in p%d (freq %s)", pi, name)
+			}
+		}
+		rec.Calls = append(rec.Calls, summary.CallSite{Callee: name, Freq: 2})
+		return out, fmt.Sprintf("call edit in p%d (new edge to %s)", pi, name)
+
+	case EditCycle:
+		// Make the edited procedure call back into one of its direct
+		// callers, closing a cycle.
+		caller := findCaller(sums, fmt.Sprintf("p%d", pi))
+		if caller == "" || caller == rec.Name {
+			rec.Calls = append(rec.Calls, summary.CallSite{Callee: rec.Name, Freq: 1})
+			return out, fmt.Sprintf("scc edit in p%d (self loop)", pi)
+		}
+		rec.Calls = append(rec.Calls, summary.CallSite{Callee: caller, Freq: 1})
+		return out, fmt.Sprintf("scc edit in p%d (back edge to %s)", pi, caller)
+	}
+	return out, "no-op (unknown kind)"
+}
+
+func copyModuleSummary(ms *summary.ModuleSummary) *summary.ModuleSummary {
+	cp := &summary.ModuleSummary{
+		Module:  ms.Module,
+		Procs:   make([]summary.ProcRecord, len(ms.Procs)),
+		Globals: append([]summary.GlobalInfo(nil), ms.Globals...),
+	}
+	for i := range ms.Procs {
+		rec := ms.Procs[i]
+		rec.GlobalRefs = append([]summary.GlobalRef(nil), rec.GlobalRefs...)
+		rec.Calls = append([]summary.CallSite(nil), rec.Calls...)
+		rec.AddrTakenProcs = append([]string(nil), rec.AddrTakenProcs...)
+		cp.Procs[i] = rec
+	}
+	return cp
+}
+
+func findRecord(ms *summary.ModuleSummary, name string) *summary.ProcRecord {
+	for i := range ms.Procs {
+		if ms.Procs[i].Name == name {
+			return &ms.Procs[i]
+		}
+	}
+	return nil
+}
+
+// borrowGlobal finds a global referenced elsewhere in the module but not
+// by rec — a variable the edited body could plausibly start using.
+func borrowGlobal(ms *summary.ModuleSummary, rec *summary.ProcRecord) string {
+	has := make(map[string]bool, len(rec.GlobalRefs))
+	for _, gr := range rec.GlobalRefs {
+		has[gr.Name] = true
+	}
+	for i := range ms.Procs {
+		for _, gr := range ms.Procs[i].GlobalRefs {
+			if !has[gr.Name] && gr.Name != "check" {
+				return gr.Name
+			}
+		}
+	}
+	return ""
+}
+
+func bumpCall(rec *summary.ProcRecord, callee string, delta int64) {
+	for i := range rec.Calls {
+		if rec.Calls[i].Callee == callee {
+			rec.Calls[i].Freq += delta
+			return
+		}
+	}
+}
+
+// findCaller returns the name of some procedure with a direct call to
+// target ("" when none exists).
+func findCaller(sums []*summary.ModuleSummary, target string) string {
+	for _, ms := range sums {
+		for i := range ms.Procs {
+			for _, cs := range ms.Procs[i].Calls {
+				if cs.Callee == target && ms.Procs[i].Name != target {
+					return ms.Procs[i].Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// ----------------------------------------------------------------------------
+// Source-level mutation
+
+var procHeadRE = regexp.MustCompile(`(?m)^int (p\d+)\(int x(, int depth)?\) \{$`)
+
+// Mutate returns a copy of the generated modules with one edit applied at
+// source level, plus a description. The modules must come from
+// Generate(cfg). The edited program still terminates: the cycle edit
+// guards its back edge with a bounded counter (which also adds a static
+// global, so the analyzer's eligible universe moves — a full re-analysis,
+// which is exactly what a changed recursion structure demands anyway).
+func Mutate(cfg Config, mods []Module, seed int64, kind EditKind) ([]Module, string) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Module, len(mods))
+	copy(out, mods)
+
+	pi := pickProc(cfg, rng)
+	mi := pi % cfg.Modules
+	if mi >= len(out) {
+		return out, "no-op (module out of range)"
+	}
+	name := fmt.Sprintf("p%d", pi)
+
+	switch kind {
+	case EditNoop:
+		out[mi].Text += fmt.Sprintf("// edit-noop seed=%d\n", seed)
+		return out, fmt.Sprintf("no-op touch of %s", out[mi].Name)
+
+	case EditBody:
+		line := "\tcheck = check + 5;\n"
+		desc := fmt.Sprintf("body edit in %s", name)
+		if g := visibleGlobal(out[mi].Text); g != "" {
+			line = fmt.Sprintf("\tacc += %s;\n\tcheck = check + 5;\n", g)
+			desc = fmt.Sprintf("body edit in %s (+ref %s)", name, g)
+		}
+		text, ok := insertInProc(out[mi].Text, name, line)
+		if !ok {
+			return out, "no-op (procedure not found)"
+		}
+		out[mi].Text = text
+		return out, desc
+
+	case EditCall:
+		nprocs := cfg.Modules * cfg.ProcsPerModule
+		callee := pi + 1 + rng.Intn(nprocs-pi-1)
+		calleeName := fmt.Sprintf("p%d", callee)
+		call := fmt.Sprintf("\tacc += %s(acc & 1023);\n", calleeName)
+		if isDeepProc(mods, calleeName) {
+			call = fmt.Sprintf("\tacc += %s(acc & 1023, 0);\n", calleeName)
+		}
+		text, ok := insertInProc(out[mi].Text, name, call)
+		if !ok {
+			return out, "no-op (procedure not found)"
+		}
+		out[mi].Text = text
+		return out, fmt.Sprintf("call edit in %s (new edge to %s)", name, calleeName)
+
+	case EditCycle:
+		caller := findSourceCaller(mods, name)
+		if caller == "" {
+			return out, "no-op (no caller for cycle)"
+		}
+		call := fmt.Sprintf("%s(acc & 255)", caller)
+		if isDeepProc(mods, caller) {
+			call = fmt.Sprintf("%s(acc & 255, 0)", caller)
+		}
+		guard := fmt.Sprintf("cyc_guard%d", pi)
+		line := fmt.Sprintf("\tif (%s < 8) { %s = %s + 1; acc += %s; }\n", guard, guard, guard, call)
+		text, ok := insertInProc(out[mi].Text, name, line)
+		if !ok {
+			return out, "no-op (procedure not found)"
+		}
+		out[mi].Text = fmt.Sprintf("static int %s = 0;\n", guard) + text
+		return out, fmt.Sprintf("scc edit in %s (guarded back edge to %s)", name, caller)
+	}
+	return out, "no-op (unknown kind)"
+}
+
+// insertInProc inserts line just before the trailing checksum statement
+// of the named procedure's body.
+func insertInProc(text, name string, line string) (string, bool) {
+	head := fmt.Sprintf("int %s(int x", name)
+	start := strings.Index(text, "\n"+head)
+	if start < 0 {
+		return text, false
+	}
+	const marker = "\tcheck = check + (acc & 8191);\n"
+	rel := strings.Index(text[start:], marker)
+	if rel < 0 {
+		return text, false
+	}
+	at := start + rel
+	return text[:at] + line + text[at:], true
+}
+
+// visibleGlobal picks a non-static global visible in the module.
+func visibleGlobal(text string) string {
+	m := regexp.MustCompile(`(?m)^(?:extern )?int (g\d+)`).FindStringSubmatch(text)
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}
+
+// isDeepProc reports whether the named procedure uses the recursive
+// (int, int) signature.
+func isDeepProc(mods []Module, name string) bool {
+	head := fmt.Sprintf("int %s(int x, int depth) {", name)
+	for _, m := range mods {
+		if strings.Contains(m.Text, head) {
+			return true
+		}
+	}
+	return false
+}
+
+// findSourceCaller returns a procedure that calls target directly.
+func findSourceCaller(mods []Module, target string) string {
+	needle := fmt.Sprintf("\tacc += %s(", target)
+	for _, m := range mods {
+		idx := strings.Index(m.Text, needle)
+		if idx < 0 {
+			continue
+		}
+		// Walk back to the enclosing procedure head.
+		var caller string
+		for _, hm := range procHeadRE.FindAllStringSubmatchIndex(m.Text[:idx], -1) {
+			caller = m.Text[hm[2]:hm[3]]
+		}
+		if caller != "" && caller != target {
+			return caller
+		}
+	}
+	return ""
+}

@@ -13,6 +13,8 @@
 package summary
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -345,6 +347,31 @@ func sortedKeysI64(m map[string]int64) []string {
 	}
 	sort.Strings(ks)
 	return ks
+}
+
+// Hash returns a stable content hash of a module summary: the sha256 of
+// its canonical JSON form, hex-encoded and truncated to 16 bytes. The
+// incremental analyzer stamps its persisted state with these hashes and
+// diffs them against fresh summaries to find the dirty modules.
+func Hash(ms *ModuleSummary) string {
+	data, err := json.Marshal(ms)
+	if err != nil {
+		// ModuleSummary contains only marshalable field types.
+		panic(fmt.Sprintf("summary: hash marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// RecordHash returns a stable content hash of one procedure record, used
+// for per-procedure dirtiness within an already-dirty module.
+func RecordHash(rec *ProcRecord) string {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		panic(fmt.Sprintf("summary: record hash marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
 }
 
 // WriteFile serializes a summary file as JSON.

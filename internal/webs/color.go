@@ -133,14 +133,33 @@ func considered(ws []*Web) []*Web {
 // web already colored. Webs left uncolored keep Color == -1 (their
 // variables may still be promoted intraprocedurally by the compiler second
 // phase).
+//
+// Conflicts are found through per-node lists of already-colored webs
+// rather than a pairwise scan over every earlier candidate: a colored web
+// interferes exactly when it shares a member node, and at any node the
+// colored webs all carry distinct colors, so each list holds at most
+// numRegs entries. The assignment is identical to the pairwise
+// formulation; only the cost drops from quadratic in the candidate count
+// to linear in total web membership.
 func Color(ws []*Web, numRegs int) int {
 	cs := considered(ws)
 	colored := 0
-	for i, w := range cs {
-		inUse := make([]bool, numRegs)
-		for j := 0; j < i; j++ {
-			x := cs[j]
-			if x.Color >= 0 && Interfere(w, x) {
+	maxNodes := 0
+	for _, w := range cs {
+		if n := len(w.Nodes) * 64; n > maxNodes {
+			maxNodes = n
+		}
+	}
+	webAt := make([][]*Web, maxNodes) // node -> colored webs containing it
+	inUse := make([]bool, numRegs)
+	ids := make([]int, 0, 64)
+	for _, w := range cs {
+		for c := range inUse {
+			inUse[c] = false
+		}
+		ids = w.Nodes.Elems(ids[:0])
+		for _, id := range ids {
+			for _, x := range webAt[id] {
 				inUse[x.Color] = true
 			}
 		}
@@ -150,6 +169,11 @@ func Color(ws []*Web, numRegs int) int {
 				w.Color = c
 				colored++
 				break
+			}
+		}
+		if w.Color >= 0 {
+			for _, id := range ids {
+				webAt[id] = append(webAt[id], w)
 			}
 		}
 	}

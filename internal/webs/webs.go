@@ -100,30 +100,62 @@ type identifyState struct {
 	// lrefNodes[vi] lists the node IDs with variable vi in L_REF,
 	// ascending.
 	lrefNodes [][]int
+	// lazy defers building lrefNodes[vi] until websFor(vi) asks for it:
+	// the incremental analyzer rebuilds a handful of variables, so paying
+	// the full inverted-index build up front would dominate its runtime.
+	// Lazy state must not be shared across goroutines.
+	lazy      bool
+	lrefReady ir.BitSet
 	// sccMembers[c] lists the node IDs of SCC c, ascending (SCCs are
 	// numbered densely by the call graph).
-	sccMembers map[int][]int
+	sccMembers [][]int
 }
 
-func newIdentifyState(g *callgraph.Graph, sets *refsets.Sets) *identifyState {
-	st := &identifyState{g: g, sets: sets, lrefNodes: make([][]int, len(sets.Vars))}
-	for _, nd := range g.Nodes {
-		p := nd.ID
-		sets.LRef[p].ForEach(func(vi int) {
-			st.lrefNodes[vi] = append(st.lrefNodes[vi], p)
-		})
+func newIdentifyState(g *callgraph.Graph, sets *refsets.Sets, lazy bool) *identifyState {
+	st := &identifyState{g: g, sets: sets, lazy: lazy, lrefNodes: make([][]int, len(sets.Vars))}
+	if lazy {
+		st.lrefReady = ir.NewBitSet(len(sets.Vars))
+	} else {
+		for _, nd := range g.Nodes {
+			p := nd.ID
+			sets.LRef[p].ForEach(func(vi int) {
+				st.lrefNodes[vi] = append(st.lrefNodes[vi], p)
+			})
+		}
 	}
-	st.sccMembers = make(map[int][]int)
+	maxSCC := -1
+	for _, nd := range g.Nodes {
+		if nd.SCC > maxSCC {
+			maxSCC = nd.SCC
+		}
+	}
+	st.sccMembers = make([][]int, maxSCC+1)
 	for _, nd := range g.Nodes {
 		st.sccMembers[nd.SCC] = append(st.sccMembers[nd.SCC], nd.ID)
 	}
 	return st
 }
 
-// websFor runs Compute_Webs for a single variable. It touches only
-// read-only shared state, so distinct variables can run concurrently.
+// lref returns the ascending node IDs whose L_REF contains variable vi,
+// materializing the list on first use in lazy mode.
+func (st *identifyState) lref(vi int) []int {
+	if st.lazy && !st.lrefReady.Has(vi) {
+		st.lrefReady.Set(vi)
+		for _, nd := range st.g.Nodes {
+			if st.sets.LRef[nd.ID].Has(vi) {
+				st.lrefNodes[vi] = append(st.lrefNodes[vi], nd.ID)
+			}
+		}
+	}
+	return st.lrefNodes[vi]
+}
+
+// websFor runs Compute_Webs for a single variable. In eager mode it
+// touches only read-only shared state, so distinct variables can run
+// concurrently.
 func (st *identifyState) websFor(vi int) []*Web {
 	g, sets := st.g, st.sets
+	lref := st.lref(vi)
 	v := sets.Vars[vi]
 	var vwebs []*Web
 	// covered is the union of all webs built so far for this variable: a
@@ -140,7 +172,7 @@ func (st *identifyState) websFor(vi int) []*Web {
 		covered.OrWith(w.Nodes)
 	}
 	// Candidate web entry nodes: G ∈ L_REF[P] and G ∉ P_REF[P].
-	for _, p := range st.lrefNodes[vi] {
+	for _, p := range lref {
 		if sets.PRef[p].Has(vi) || covered.Has(p) {
 			continue
 		}
@@ -152,7 +184,7 @@ func (st *identifyState) websFor(vi int) []*Web {
 	// paths never do leaves G in P_REF all around the cycle, so no
 	// candidate entry exists. Put each such cycle in its own web and
 	// enlarge it for correctness (§4.1.2).
-	for _, p := range st.lrefNodes[vi] {
+	for _, p := range lref {
 		nd := g.Nodes[p]
 		if !nd.Recursive || covered.Has(p) {
 			continue
@@ -179,7 +211,7 @@ func Identify(g *callgraph.Graph, sets *refsets.Sets) []*Web {
 // assigned afterwards, so the output is byte-identical to the sequential
 // run regardless of worker interleaving.
 func IdentifyJobs(g *callgraph.Graph, sets *refsets.Sets, jobs int) []*Web {
-	st := newIdentifyState(g, sets)
+	st := newIdentifyState(g, sets, false)
 	perVar := make([][]*Web, len(sets.Vars))
 	if pipeline.Workers(jobs) <= 1 || len(sets.Vars) < 2 {
 		for vi := range sets.Vars {
@@ -199,6 +231,27 @@ func IdentifyJobs(g *callgraph.Graph, sets *refsets.Sets, jobs int) []*Web {
 	}
 	return webs
 }
+
+// Identifier exposes per-variable web construction to the incremental
+// analyzer: it builds the shared inverted indexes once, then rebuilds only
+// the web lists of dirty variables through the same websFor code path
+// IdentifyJobs uses, so a rebuilt list is byte-identical to the clean one.
+type Identifier struct {
+	st *identifyState
+}
+
+// NewIdentifier prepares per-variable web construction over the graph.
+func NewIdentifier(g *callgraph.Graph, sets *refsets.Sets) *Identifier {
+	return &Identifier{st: newIdentifyState(g, sets, true)}
+}
+
+// WebsFor computes the webs of one variable (by index). IDs and entry
+// lists are left unset; callers assign IDs over the assembled program-wide
+// list and fill entries with ComputeEntries, exactly as IdentifyJobs does.
+func (id *Identifier) WebsFor(vi int) []*Web { return id.st.websFor(vi) }
+
+// ComputeEntries fills w.Entries from the current graph edges.
+func ComputeEntries(g *callgraph.Graph, w *Web) { computeEntries(g, w) }
 
 // growWeb runs the repeat/until loop of Compute_Webs: expand from the seed
 // nodes, then repeatedly pull in the external predecessors of any member

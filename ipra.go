@@ -763,6 +763,39 @@ func compileIncremental(ctx context.Context, sources []Source, cfg Config, build
 			return parv.Link(objs, parv.LinkConfig{DataSize: cfg.DataSize})
 		},
 	}
+	if cfg.UseAnalyzer {
+		// With the analyzer on, replace the full Analyze with the
+		// incremental entry point: decode whatever state the build
+		// directory held (an unreadable blob just means a full analysis),
+		// analyze reusing it, and hand back the refreshed encoding.
+		tc.AnalyzeIncremental = func(ctx context.Context, sums []*summary.ModuleSummary, dirty []string, prevState []byte) (*pdb.Database, []byte, *incremental.AnalyzerReuse, error) {
+			o := cfg.Analyzer
+			o.Profile = cfg.Profile
+			o.Jobs = cfg.Jobs
+			var prev *core.State
+			if len(prevState) > 0 {
+				if s, err := core.DecodeState(prevState); err == nil {
+					prev = s
+				}
+			}
+			res, st, rs, err := core.AnalyzeIncremental(ctx, sums, o, prev, dirty)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			p.Analysis = res
+			var state []byte
+			if st != nil && st.Unsupported() == "" {
+				state = st.Encode()
+			}
+			return res.DB, state, &incremental.AnalyzerReuse{
+				Fallback:        rs.Fallback,
+				DirtyModules:    rs.DirtyModules,
+				WebsReused:      rs.WebsReused,
+				WebsRebuilt:     rs.WebsRebuilt,
+				ClustersRebuilt: rs.ClustersRebuilt,
+			}, nil
+		}
+	}
 	srcs := make([]incremental.Source, len(sources))
 	for i, s := range sources {
 		srcs[i] = incremental.Source{Name: s.Name, Text: s.Text}
