@@ -13,6 +13,10 @@
 //	                          full build (both phases, analyzer, link)
 //	                          against a persistent build directory,
 //	                          recompiling only what changed
+//	mcc -remote unix:/tmp/ipra.sock file.mc ...
+//	                          full build on a running ipra-served daemon;
+//	                          the returned executable is byte-identical
+//	                          to a local build of the same sources/config
 //
 // Run the program analyzer (ipra-analyze) between the phases; without a
 // program database, phase 2 compiles at plain level-2 optimization. The
@@ -37,6 +41,7 @@ import (
 	"ipra/internal/parv"
 	"ipra/internal/pdb"
 	"ipra/internal/pipeline"
+	"ipra/internal/served"
 	"ipra/internal/summary"
 )
 
@@ -46,14 +51,14 @@ func main() {
 		phase2      = flag.Bool("phase2", false, "run the compiler second phase on intermediate files")
 		link        = flag.String("link", "", "link object files into the named executable image")
 		incremental = flag.Bool("incremental", false, "full minimal-rebuild compile of MiniC sources against -build-dir")
+		remote      = flag.String("remote", "", "build on an ipra-served daemon at this address (unix:/path or host:port)")
 		pdbPath     = flag.String("pdb", "", "program database for phase 2 (from ipra-analyze)")
 		outDir      = flag.String("o", ".", "output directory")
 		buildDir    = flag.String("build-dir", ".mcc-build", "incremental build-state directory")
-		exeOut      = flag.String("exe", "", "incremental executable output path (default <build-dir>/program.exe)")
-		configName  = flag.String("config", "C", "incremental configuration: L2 or Table 4 column A-F")
-		trainInstrs = flag.Uint64("train-instrs", 100_000_000, "instruction budget for the training run of profiled configurations (B, F)")
 		explain     = flag.Bool("explain", false, "print why each module was or wasn't rebuilt (incremental mode)")
 	)
+	build := &cliutil.BuildFlags{}
+	build.RegisterBuild(flag.CommandLine)
 	common := cliutil.New("mcc")
 	common.Register(flag.CommandLine)
 	flag.Parse()
@@ -70,10 +75,12 @@ func main() {
 		err = runPhase2(flag.Args(), *pdbPath, *outDir, common.Jobs)
 	case *link != "":
 		err = runLink(flag.Args(), *link)
+	case *remote != "":
+		err = runRemote(ctx, flag.Args(), *remote, build, common)
 	case *incremental:
-		err = runIncremental(ctx, flag.Args(), *buildDir, *exeOut, *configName, *trainInstrs, common, *explain)
+		err = runIncremental(ctx, flag.Args(), *buildDir, build, common, *explain)
 	default:
-		fmt.Fprintln(os.Stderr, "mcc: specify -phase1, -phase2, -link, or -incremental (see -help)")
+		fmt.Fprintln(os.Stderr, "mcc: specify -phase1, -phase2, -link, -incremental, or -remote (see -help)")
 		os.Exit(2)
 	}
 	if common.Verbose {
@@ -200,27 +207,98 @@ func runLink(files []string, out string) error {
 	return nil
 }
 
+// readSources loads the named files as build-request modules.
+func readSources(files []string) ([]ipra.Source, error) {
+	sources := make([]ipra.Source, len(files))
+	for i, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = ipra.Source{Name: filepath.Base(f), Text: text}
+	}
+	return sources, nil
+}
+
+// runRemote submits the build to an ipra-served daemon and writes the
+// returned executable — byte-identical to a local build of the same
+// sources and configuration.
+func runRemote(ctx context.Context, files []string, addr string, build *cliutil.BuildFlags, common *cliutil.Common) error {
+	if len(files) == 0 {
+		return fmt.Errorf("remote: no source files")
+	}
+	cfg, err := build.Config()
+	if err != nil {
+		return err
+	}
+	sources, err := readSources(files)
+	if err != nil {
+		return err
+	}
+	client, err := served.Dial(addr)
+	if err != nil {
+		return err
+	}
+	client.Retries = 4
+
+	req := &served.BuildRequest{
+		Config:      cfg.Name,
+		Sources:     make([]served.Source, len(sources)),
+		TrainInstrs: build.TrainInstrs,
+		Verify:      common.Verify,
+	}
+	for i, s := range sources {
+		req.Sources[i] = served.Source{Name: s.Name, Text: string(s.Text)}
+	}
+	resp, err := client.Build(ctx, req)
+	if err != nil {
+		return err
+	}
+
+	if common.Verbose {
+		how := "built"
+		switch {
+		case resp.Dedup:
+			how = "deduplicated against a concurrent identical build"
+		case resp.ResultCached:
+			how = "served from the daemon's result cache"
+		}
+		fmt.Fprintf(os.Stderr, "mcc: remote request %d: %s in %.1fms\n", resp.RequestID, how, resp.ElapsedMS)
+		if inc := resp.Incremental; inc != nil {
+			fmt.Fprintf(os.Stderr, "mcc: remote state: %d phase-1 rebuilds, %d phase-2 rebuilds, reset=%v\n",
+				inc.Phase1Rebuilds, inc.Phase2Rebuilds, inc.StateReset)
+		}
+	}
+
+	exeOut := build.ExePath
+	if exeOut == "" {
+		exeOut = "program.exe"
+	}
+	if err := os.WriteFile(exeOut, resp.Exe, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("mcc: %d modules -> %s (%d instructions, config %s, remote)\n",
+		len(sources), exeOut, resp.Instructions, resp.Config)
+	return nil
+}
+
 // runIncremental is the minimal-rebuild driver: both compiler phases, the
 // program analyzer, and the link in one command, backed by the persistent
 // build directory. Profiled configurations (B, F) run their training pass
 // against a "train" subdirectory, so repeat builds skip it too.
-func runIncremental(ctx context.Context, files []string, buildDir, exeOut, configName string, trainInstrs uint64, common *cliutil.Common, explain bool) error {
+func runIncremental(ctx context.Context, files []string, buildDir string, build *cliutil.BuildFlags, common *cliutil.Common, explain bool) error {
 	if len(files) == 0 {
 		return fmt.Errorf("incremental: no source files")
 	}
-	cfg, err := ipra.PresetByName(configName)
+	cfg, err := build.Config()
 	if err != nil {
 		return err
 	}
 	cfg.Jobs = common.Jobs
 
-	sources := make([]ipra.Source, len(files))
-	for i, f := range files {
-		text, err := os.ReadFile(f)
-		if err != nil {
-			return err
-		}
-		sources[i] = ipra.Source{Name: filepath.Base(f), Text: text}
+	sources, err := readSources(files)
+	if err != nil {
+		return err
 	}
 
 	opts := []ipra.BuildOption{ipra.WithBuildDir(buildDir)}
@@ -228,7 +306,7 @@ func runIncremental(ctx context.Context, files []string, buildDir, exeOut, confi
 		opts = append(opts, ipra.WithStderr(os.Stderr))
 	}
 	if cfg.WantProfile {
-		opts = append(opts, ipra.WithProfile(trainInstrs))
+		opts = append(opts, ipra.WithProfile(build.TrainInstrs))
 	}
 	if common.Verify {
 		opts = append(opts, ipra.WithVerify())
@@ -253,6 +331,7 @@ func runIncremental(ctx context.Context, files []string, buildDir, exeOut, confi
 		}
 	}
 
+	exeOut := build.ExePath
 	if exeOut == "" {
 		exeOut = filepath.Join(buildDir, "program.exe")
 	}

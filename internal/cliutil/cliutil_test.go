@@ -1,0 +1,86 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"ipra"
+)
+
+// TestBuildFlagsResolvePresets: the shared -config flag resolves every
+// registry preset (case-insensitively) to the same configuration the
+// library registry builds — the one table every build-driving tool
+// shares.
+func TestBuildFlagsResolvePresets(t *testing.T) {
+	for _, name := range ipra.PresetNames() {
+		for _, spelling := range []string{name, strings.ToLower(name)} {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			b := &BuildFlags{}
+			b.RegisterBuild(fs)
+			if err := fs.Parse([]string{"-config", spelling, "-exe", "out.exe"}); err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := b.Config()
+			if err != nil {
+				t.Fatalf("config %q: %v", spelling, err)
+			}
+			want, err := ipra.PresetByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Name != want.Name || cfg.UseAnalyzer != want.UseAnalyzer || cfg.WantProfile != want.WantProfile {
+				t.Errorf("config %q resolved to %+v, want %+v", spelling, cfg, want)
+			}
+			if b.ExePath != "out.exe" {
+				t.Errorf("-exe not captured: %q", b.ExePath)
+			}
+		}
+	}
+}
+
+// TestBuildFlagsRejectUnknownConfig: a bad -config fails with the preset
+// list in the message, at Config() time, not at build time.
+func TestBuildFlagsRejectUnknownConfig(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	b := &BuildFlags{}
+	b.RegisterBuild(fs)
+	if err := fs.Parse([]string{"-config", "Z"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Config()
+	if err == nil {
+		t.Fatal("unknown configuration accepted")
+	}
+	for _, name := range ipra.PresetNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list preset %s", err, name)
+		}
+	}
+}
+
+// TestBuildFlagsTrainingDefault: the training budget default is shared
+// between full registration (clients) and training-only registration
+// (the daemon), so the two can never drift.
+func TestBuildFlagsTrainingDefault(t *testing.T) {
+	full := flag.NewFlagSet("full", flag.ContinueOnError)
+	b1 := &BuildFlags{}
+	b1.RegisterBuild(full)
+	trainOnly := flag.NewFlagSet("train", flag.ContinueOnError)
+	b2 := &BuildFlags{}
+	b2.RegisterTraining(trainOnly)
+	if err := full.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := trainOnly.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if b1.TrainInstrs != b2.TrainInstrs || b1.TrainInstrs == 0 {
+		t.Errorf("training defaults drifted: full=%d trainOnly=%d", b1.TrainInstrs, b2.TrainInstrs)
+	}
+	if trainOnly.Lookup("config") != nil || trainOnly.Lookup("exe") != nil {
+		t.Error("RegisterTraining leaked client-only flags")
+	}
+}

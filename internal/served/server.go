@@ -1,0 +1,582 @@
+// Package served is the compilation-as-a-service daemon behind
+// cmd/ipra-served: a long-lived server that keeps the whole-program
+// allocator's interprocedural state hot across builds and serves
+// concurrent build requests from many clients.
+//
+// What stays hot between requests:
+//
+//   - the process-wide phase-1/summary cache (internal/cache), so a
+//     module parsed for one client is never re-parsed for another;
+//   - one persistent incremental build directory per (config, module
+//     name-set) program identity (internal/incremental), so an edited
+//     program gets a minimal rebuild and its analyzer.state carries the
+//     call graph, webs, and clusters forward;
+//   - a bounded in-memory result cache mapping request keys to finished
+//     responses, so a byte-identical re-request never compiles at all.
+//
+// Every cache layer is keyed or guarded by the toolchain fingerprint: the
+// result cache and single-flight keys embed it directly, and the
+// incremental store rejects on-disk state stamped by any other
+// fingerprint, so a daemon can never serve bytes a local build of the
+// same toolchain would not produce.
+//
+// Concurrency control is two-level. Identical in-flight requests collapse
+// into one build (single-flight; followers share the leader's response
+// and tick served.dedup_hits). Distinct requests pass a bounded admission
+// queue: at most Concurrency builds run, at most QueueDepth more wait,
+// and anything beyond that is rejected immediately with 503 and a
+// Retry-After hint rather than queued without bound.
+package served
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipra"
+	"ipra/internal/parv"
+	"ipra/internal/pipeline"
+	"ipra/internal/telemetry"
+)
+
+// Options configure a Server.
+type Options struct {
+	// StateDir is the root under which per-program incremental build
+	// directories live; empty serves every build statelessly from
+	// memory (still deduplicated and result-cached).
+	StateDir string
+	// Concurrency bounds simultaneously executing builds; 0 means one
+	// per CPU.
+	Concurrency int
+	// QueueDepth bounds admitted-but-waiting requests; 0 means
+	// 4×Concurrency. Requests beyond Concurrency+QueueDepth are
+	// rejected with ErrSaturated / HTTP 503.
+	QueueDepth int
+	// Jobs is the per-build compiler parallelism (ipra.Config.Jobs).
+	Jobs int
+	// ResultCacheEntries bounds the in-memory response cache; 0 means
+	// 128, negative disables it.
+	ResultCacheEntries int
+	// TrainInstrs is the default training-run budget for profiled
+	// configurations when the request leaves it zero.
+	TrainInstrs uint64
+	// Fingerprint overrides the toolchain fingerprint guarding all
+	// served state; empty uses ipra.ToolchainFingerprint(). Tests use
+	// the override to prove stale-state rejection.
+	Fingerprint string
+	// Tracer receives server-lifetime telemetry (the served.* counters
+	// plus every request's counters merged in); nil allocates one
+	// internally so Stats always works.
+	Tracer *telemetry.Tracer
+	// Log receives one line per request; nil discards.
+	Log io.Writer
+}
+
+// ErrSaturated is returned (as HTTP 503 + Retry-After on the wire) when
+// the admission queue is full.
+var ErrSaturated = errors.New("served: admission queue full")
+
+// inflight is one single-flight entry: the leader builds, followers wait
+// on done and read resp/err.
+type inflight struct {
+	done chan struct{}
+	resp *BuildResponse
+	err  error
+}
+
+// resultCache is a small mutex-guarded LRU of finished responses.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // key -> element holding *resultEntry
+}
+
+type resultEntry struct {
+	key  string
+	resp *BuildResponse
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*BuildResponse, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*resultEntry).resp, true
+}
+
+func (c *resultCache) put(key string, resp *BuildResponse) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*resultEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&resultEntry{key: key, resp: resp})
+	for c.order.Len() > c.max {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*resultEntry).key)
+	}
+}
+
+// Server is one daemon instance. Create with New, expose with Handler or
+// Serve, stop with Shutdown.
+type Server struct {
+	opts        Options
+	fingerprint string
+	tracer      *telemetry.Tracer
+	start       time.Time
+
+	admission chan struct{} // capacity Concurrency+QueueDepth
+	running   chan struct{} // capacity Concurrency
+
+	queueDepth atomic.Int64 // admitted, waiting for a run slot
+	runDepth   atomic.Int64 // builds executing
+	inflightN  atomic.Int64 // requests inside the server
+	nextID     atomic.Uint64
+	draining   atomic.Bool
+
+	mu      sync.Mutex
+	flights map[string]*inflight
+	dirLock map[string]*sync.Mutex // per-build-dir serialization
+
+	results *resultCache
+
+	// buildFn runs one deduplicated build; tests wrap it to hold builds
+	// open and provoke dedup/saturation deterministically.
+	buildFn func(ctx context.Context, req *BuildRequest) (*BuildResponse, error)
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New returns a ready Server; no listener is opened until Serve.
+func New(opts Options) *Server {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = pipeline.Workers(0)
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 4 * opts.Concurrency
+	}
+	if opts.QueueDepth < 0 {
+		opts.QueueDepth = 0
+	}
+	cacheMax := opts.ResultCacheEntries
+	if cacheMax == 0 {
+		cacheMax = 128
+	}
+	if opts.TrainInstrs == 0 {
+		opts.TrainInstrs = 100_000_000
+	}
+	fp := opts.Fingerprint
+	if fp == "" {
+		fp = ipra.ToolchainFingerprint()
+	}
+	tr := opts.Tracer
+	if tr == nil {
+		tr = telemetry.New()
+	}
+	s := &Server{
+		opts:        opts,
+		fingerprint: fp,
+		tracer:      tr,
+		start:       time.Now(),
+		admission:   make(chan struct{}, opts.Concurrency+opts.QueueDepth),
+		running:     make(chan struct{}, opts.Concurrency),
+		flights:     make(map[string]*inflight),
+		dirLock:     make(map[string]*sync.Mutex),
+		results:     newResultCache(cacheMax),
+	}
+	s.buildFn = s.runBuild
+	return s
+}
+
+// Fingerprint returns the toolchain fingerprint guarding this daemon's
+// state.
+func (s *Server) Fingerprint() string { return s.fingerprint }
+
+// Counters snapshots the server-lifetime telemetry totals.
+func (s *Server) Counters() map[string]int64 { return s.tracer.Counters() }
+
+// Stats assembles the /v1/stats payload.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Fingerprint: s.fingerprint,
+		Counters:    s.tracer.Counters(),
+		Gauges: map[string]int64{
+			"served.queue_depth": s.queueDepth.Load(),
+			"served.running":     s.runDepth.Load(),
+			"served.inflight":    s.inflightN.Load(),
+		},
+		UptimeSec: time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "ipra-served: "+format+"\n", args...)
+	}
+}
+
+// Build serves one request through the full admission path — result
+// cache, single-flight, bounded queue — exactly as the HTTP handler
+// does; it is the in-process entry point tests and embedders use.
+func (s *Server) Build(ctx context.Context, req *BuildRequest) (*BuildResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := ipra.PresetByName(req.Config); err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		return nil, fmt.Errorf("served: server is shutting down")
+	}
+	s.inflightN.Add(1)
+	defer s.inflightN.Add(-1)
+	s.tracer.Add("served.requests", 1)
+
+	began := time.Now()
+	key := req.Key(s.fingerprint)
+	if resp, ok := s.results.get(key); ok {
+		s.tracer.Add("served.result_hits", 1)
+		out := *resp
+		out.RequestID = s.nextID.Add(1)
+		out.ResultCached = true
+		out.Incremental = nil
+		out.ElapsedMS = float64(time.Since(began).Microseconds()) / 1000
+		s.logf("req %d: %s %d modules: result cache hit", out.RequestID, req.Config, len(req.Sources))
+		return &out, nil
+	}
+
+	// Single-flight: the first arrival under a key becomes the leader
+	// and builds; everyone else waits for its response.
+	s.mu.Lock()
+	if fl, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.tracer.Add("served.dedup_hits", 1)
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		out := *fl.resp
+		out.RequestID = s.nextID.Add(1)
+		out.Dedup = true
+		s.logf("req %d: %s %d modules: deduplicated against in-flight build", out.RequestID, req.Config, len(req.Sources))
+		return &out, nil
+	}
+	fl := &inflight{done: make(chan struct{})}
+	s.flights[key] = fl
+	s.mu.Unlock()
+
+	fl.resp, fl.err = s.admitAndBuild(ctx, req)
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	close(fl.done)
+	if fl.err == nil {
+		s.results.put(key, fl.resp)
+	}
+	return fl.resp, fl.err
+}
+
+// admitAndBuild pushes one leader request through the bounded queue and
+// runs its build.
+func (s *Server) admitAndBuild(ctx context.Context, req *BuildRequest) (*BuildResponse, error) {
+	select {
+	case s.admission <- struct{}{}:
+	default:
+		s.tracer.Add("served.rejected", 1)
+		return nil, ErrSaturated
+	}
+	defer func() { <-s.admission }()
+
+	s.queueDepth.Add(1)
+	select {
+	case s.running <- struct{}{}:
+	case <-ctx.Done():
+		s.queueDepth.Add(-1)
+		return nil, ctx.Err()
+	}
+	s.queueDepth.Add(-1)
+	s.runDepth.Add(1)
+	defer func() {
+		s.runDepth.Add(-1)
+		<-s.running
+	}()
+
+	s.tracer.Add("served.builds", 1)
+	resp, err := s.buildFn(ctx, req)
+	if err != nil {
+		s.tracer.Add("served.errors", 1)
+	}
+	return resp, err
+}
+
+// runBuild executes one underlying ipra.Build with per-request telemetry.
+func (s *Server) runBuild(ctx context.Context, req *BuildRequest) (*BuildResponse, error) {
+	began := time.Now()
+	id := s.nextID.Add(1)
+
+	cfg, err := ipra.PresetByName(req.Config)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Jobs = s.opts.Jobs
+
+	sources := make([]ipra.Source, len(req.Sources))
+	for i, src := range req.Sources {
+		sources[i] = ipra.Source{Name: src.Name, Text: []byte(src.Text)}
+	}
+
+	reqTracer := telemetry.New()
+	opts := []ipra.BuildOption{ipra.WithTelemetry(reqTracer)}
+	if cfg.WantProfile {
+		instrs := req.TrainInstrs
+		if instrs == 0 {
+			instrs = s.opts.TrainInstrs
+		}
+		opts = append(opts, ipra.WithProfile(instrs))
+	}
+	if req.Verify {
+		opts = append(opts, ipra.WithVerify())
+	}
+
+	var buildDir string
+	if s.opts.StateDir != "" {
+		buildDir = filepath.Join(s.opts.StateDir, req.ProgramKey())
+		opts = append(opts, ipra.WithBuildDir(buildDir))
+		// Two different source versions of the same program share a
+		// build directory; serialize them so concurrent edits never
+		// interleave manifest writes.
+		lock := s.lockFor(buildDir)
+		lock.Lock()
+		defer lock.Unlock()
+	}
+
+	res, err := ipra.Build(ctx, sources, cfg, opts...)
+	mergeCounters(s.tracer, reqTracer)
+	if err != nil {
+		s.logf("req %d: %s %d modules: error: %v", id, req.Config, len(sources), err)
+		return nil, err
+	}
+
+	var exeBuf bytes.Buffer
+	if err := parv.EncodeExecutable(&exeBuf, res.Exe); err != nil {
+		return nil, err
+	}
+
+	resp := &BuildResponse{
+		RequestID:    id,
+		Config:       cfg.Name,
+		Modules:      len(sources),
+		Exe:          exeBuf.Bytes(),
+		Instructions: len(res.Exe.Code),
+		Counters:     reqTracer.Counters(),
+		ElapsedMS:    float64(time.Since(began).Microseconds()) / 1000,
+	}
+	if out := res.Incremental; out != nil {
+		resp.Incremental = &IncrementalSummary{
+			StateReset:     out.StateReset,
+			Phase1Rebuilds: out.Phase1Rebuilds,
+			Phase2Rebuilds: out.Phase2Rebuilds,
+		}
+		if out.Analyzer != nil {
+			resp.Incremental.AnalyzerFallback = out.Analyzer.Fallback
+		}
+	}
+	if req.Trace {
+		var buf bytes.Buffer
+		if err := reqTracer.WriteChromeTrace(&buf); err == nil {
+			resp.Trace = json.RawMessage(buf.Bytes())
+		}
+	}
+	s.logf("req %d: %s %d modules: built in %.1fms (dir %q)", id, req.Config, len(sources), resp.ElapsedMS, buildDir)
+	return resp, nil
+}
+
+// lockFor returns the mutex serializing one build directory.
+func (s *Server) lockFor(dir string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.dirLock[dir]
+	if !ok {
+		l = &sync.Mutex{}
+		s.dirLock[dir] = l
+	}
+	return l
+}
+
+// mergeCounters folds one request tracer's counters into the server
+// totals.
+func mergeCounters(dst, src *telemetry.Tracer) {
+	for name, v := range src.Counters() {
+		dst.Add(name, v)
+	}
+}
+
+// retryAfterSec estimates when a rejected client should come back: one
+// second per queued-or-running build ahead of it, floored at 1.
+func (s *Server) retryAfterSec() int {
+	n := int(s.queueDepth.Load() + s.runDepth.Load())
+	if n < 1 {
+		n = 1
+	}
+	if n > 30 {
+		n = 30
+	}
+	return n
+}
+
+// maxRequestBytes bounds one request body (sources are text; 256 MiB is
+// far past any real program here).
+const maxRequestBytes = 256 << 20
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/build", s.handleBuild)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	var req BuildRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := s.Build(r.Context(), &req)
+	switch {
+	case errors.Is(err, ErrSaturated):
+		sec := s.retryAfterSec()
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), RetryAfterSec: sec})
+	case err != nil:
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "fingerprint": s.fingerprint})
+}
+
+// Serve runs the HTTP interface on l until Shutdown; it returns nil on a
+// graceful stop. One Serve per listener; multiple listeners (a Unix
+// socket plus TCP) may be served concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	err := srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon gracefully: new requests are refused, every
+// in-flight build runs to completion and its response is delivered, and
+// only then do the listeners close. Incremental state is flushed by each
+// build as it finishes, so a drained daemon leaves every build directory
+// consistent. The context bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	} else {
+		// In-process use (no listener): wait for inflight to reach zero.
+		for s.inflightN.Load() > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	st := s.Stats()
+	s.logf("drained: %d requests, %d builds, %d dedup hits, %d result hits, %d rejected",
+		st.Counters["served.requests"], st.Counters["served.builds"],
+		st.Counters["served.dedup_hits"], st.Counters["served.result_hits"],
+		st.Counters["served.rejected"])
+	return err
+}
+
+// ListenUnix removes a stale Unix socket file left by a previous daemon
+// (after checking nothing is listening), then returns a fresh listener.
+func ListenUnix(path string) (net.Listener, error) {
+	if _, err := os.Stat(path); err == nil {
+		if c, err := net.DialTimeout("unix", path, 250*time.Millisecond); err == nil {
+			c.Close()
+			return nil, fmt.Errorf("served: %s: a daemon is already listening", path)
+		}
+		os.Remove(path)
+	}
+	if dir := filepath.Dir(path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return net.Listen("unix", path)
+}

@@ -717,6 +717,13 @@ func toolchainFingerprint() string {
 	return phase1Fingerprint + "|" + phase2Fingerprint + "|" + runtime.Version()
 }
 
+// ToolchainFingerprint identifies this binary's compilation semantics:
+// every persistent or shared artifact (incremental build state, a build
+// daemon's caches) is keyed or guarded by it, so artifacts produced under
+// different semantics are rebuilt rather than reused. Two binaries with
+// equal fingerprints produce byte-identical output for identical inputs.
+func ToolchainFingerprint() string { return toolchainFingerprint() }
+
 // compileIncremental is compile backed by a persistent build directory:
 // it recompiles phase 1 only for modules whose source changed, re-runs
 // the program analyzer on the merged summary set, recompiles phase 2 only
