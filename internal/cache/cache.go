@@ -10,33 +10,33 @@
 // lets all of those compiles after the first skip straight to the
 // analyzer.
 //
-// Entries are stored gob-encoded and decoded on every hit, so each caller
-// receives private copies: the optimizer mutates IR in place, and a cache
-// that handed out shared pointers would let one compilation corrupt
-// another. Decoding is the same work Module.Clone already does once per
-// compile, so a hit still saves the parse, semantic analysis, IR
-// generation, and the two optimized scratch clones behind a summary.
+// Entries are stored in the flat wire format (internal/wire) and decoded
+// on every hit, so each caller receives private copies: the optimizer
+// mutates IR in place, and a cache that handed out shared pointers would
+// let one compilation corrupt another. Decoding is a single linear walk
+// over length-prefixed sections — no reflection — so a hit costs little
+// more than the allocations of the copies themselves.
 //
-// The same gob payload doubles as the on-disk phase-1 record of the
+// The same wire payload doubles as the on-disk phase-1 record of the
 // incremental build directory (WriteEntryFile / ReadEntryFile), so the
 // in-memory cache and the persistent store never disagree about what a
 // phase-1 artifact is.
 package cache
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipra/internal/ir"
 	"ipra/internal/summary"
 	"ipra/internal/telemetry"
+	"ipra/internal/wire"
 )
 
 // Key identifies one module's phase-1 artifacts by content.
@@ -66,7 +66,7 @@ func SourceKey(name string, text []byte, fingerprint string) Key {
 	return k
 }
 
-// entry is one cached module: the gob bytes plus its position in the
+// entry is one cached module: the wire bytes plus its position in the
 // intrusive LRU list (front = most recently used, back = eviction victim).
 type entry struct {
 	key        Key
@@ -74,30 +74,38 @@ type entry struct {
 	prev, next *entry
 }
 
-// payload is what gets encoded into an entry.
-type payload struct {
-	Module  *ir.Module
-	Summary *summary.ModuleSummary
-}
+// Wire format identity of a cache entry (also the incremental build dir's
+// phase-1 record). Bump the version whenever the body layout — the module
+// encoding, the summary encoding, or their order — changes.
+const (
+	wireKind    = "cache-entry"
+	wireVersion = 1
+)
 
 // EncodeEntry serializes a phase-1 module and its summary into the cache's
-// gob payload format. The bytes are self-contained: DecodeEntry (or a hit
-// on an in-memory entry) reconstructs private copies.
+// wire payload format: one wire file whose body is the module followed by
+// the summary, sharing a single string table. The bytes are
+// self-contained: DecodeEntry (or a hit on an in-memory entry)
+// reconstructs private copies.
 func EncodeEntry(m *ir.Module, ms *summary.ModuleSummary) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&payload{Module: m, Summary: ms}); err != nil {
-		return nil, fmt.Errorf("cache: encode %s: %w", m.Name, err)
-	}
-	return buf.Bytes(), nil
+	e := wire.NewEncoder(wireKind, wireVersion)
+	ir.AppendModule(e, m)
+	summary.AppendSummary(e, ms)
+	return e.Finish(), nil
 }
 
 // DecodeEntry is the inverse of EncodeEntry.
 func DecodeEntry(data []byte) (*ir.Module, *summary.ModuleSummary, error) {
-	var p payload
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+	d, err := wire.NewDecoder(data, wireKind, wireVersion)
+	if err != nil {
 		return nil, nil, fmt.Errorf("cache: decode entry: %w", err)
 	}
-	return p.Module, p.Summary, nil
+	m := ir.ReadModule(d)
+	ms := summary.ReadSummary(d)
+	if err := d.Finish(); err != nil {
+		return nil, nil, fmt.Errorf("cache: decode entry: %w", err)
+	}
+	return m, ms, nil
 }
 
 // WriteEntryFile persists a phase-1 entry to the given path (the
@@ -192,6 +200,12 @@ func (c *Cache) pushFront(e *entry) {
 // false on a miss. The returned values share no memory with the cache or
 // with any other caller.
 func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
+	return c.get(context.Background(), k)
+}
+
+// get is Get with the build's telemetry context threaded to the
+// serialization counters (cache.decode_ns / cache.decode_bytes).
+func (c *Cache) get(ctx context.Context, k Key) (*ir.Module, *summary.ModuleSummary, bool) {
 	c.mu.Lock()
 	e := c.entries[k]
 	if e == nil {
@@ -206,7 +220,10 @@ func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
 	c.hits.Add(1)
 
 	// Decode outside the lock: it is the expensive part of a hit.
+	start := time.Now()
 	m, ms, err := DecodeEntry(data)
+	telemetry.Count(ctx, "cache.decode_ns", time.Since(start).Nanoseconds())
+	telemetry.Count(ctx, "cache.decode_bytes", int64(len(data)))
 	if err != nil {
 		// A decode failure means the entry is corrupt; drop it and report
 		// a miss so the caller recompiles.
@@ -225,7 +242,7 @@ func (c *Cache) Get(k Key) (*ir.Module, *summary.ModuleSummary, bool) {
 // misses land on the context's tracer as cache.hits / cache.misses (the
 // process-wide Stats counters tick regardless).
 func (c *Cache) GetCtx(ctx context.Context, k Key) (*ir.Module, *summary.ModuleSummary, bool) {
-	m, ms, ok := c.Get(k)
+	m, ms, ok := c.get(ctx, k)
 	if ok {
 		telemetry.Count(ctx, "cache.hits", 1)
 	} else {
@@ -237,14 +254,15 @@ func (c *Cache) GetCtx(ctx context.Context, k Key) (*ir.Module, *summary.ModuleS
 // Put stores the module and summary under k. The values are encoded
 // immediately, so the caller remains free to mutate its copies afterward.
 func (c *Cache) Put(k Key, m *ir.Module, ms *summary.ModuleSummary) error {
-	_, err := c.put(k, m, ms)
+	_, err := c.put(context.Background(), k, m, ms)
 	return err
 }
 
 // PutCtx is Put with the build's telemetry threaded through: evictions
-// this insertion forced land on the context's tracer as cache.evictions.
+// this insertion forced land on the context's tracer as cache.evictions,
+// and the serialization cost as cache.encode_ns / cache.encode_bytes.
 func (c *Cache) PutCtx(ctx context.Context, k Key, m *ir.Module, ms *summary.ModuleSummary) error {
-	evicted, err := c.put(k, m, ms)
+	evicted, err := c.put(ctx, k, m, ms)
 	if evicted > 0 {
 		telemetry.Count(ctx, "cache.evictions", evicted)
 	}
@@ -252,11 +270,14 @@ func (c *Cache) PutCtx(ctx context.Context, k Key, m *ir.Module, ms *summary.Mod
 }
 
 // put inserts the entry and returns how many victims were evicted.
-func (c *Cache) put(k Key, m *ir.Module, ms *summary.ModuleSummary) (evicted int64, err error) {
+func (c *Cache) put(ctx context.Context, k Key, m *ir.Module, ms *summary.ModuleSummary) (evicted int64, err error) {
+	start := time.Now()
 	data, err := EncodeEntry(m, ms)
 	if err != nil {
 		return 0, err
 	}
+	telemetry.Count(ctx, "cache.encode_ns", time.Since(start).Nanoseconds())
+	telemetry.Count(ctx, "cache.encode_bytes", int64(len(data)))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e := c.entries[k]; e != nil {

@@ -93,6 +93,26 @@ type Graph struct {
 	rpo []int
 	// startSet mirrors Starts for O(1) membership tests.
 	startSet ir.BitSet
+
+	// slab batch-allocates Node values: graph construction pays one
+	// allocation per chunk instead of one per procedure.
+	slab nodeSlab
+}
+
+// nodeSlab hands out Node values carved from chunked backing arrays. The
+// chunks are never reclaimed, so nodes stay valid for the graph's
+// lifetime like individually allocated ones would.
+type nodeSlab struct {
+	free []Node
+}
+
+func (s *nodeSlab) new() *Node {
+	if len(s.free) == 0 {
+		s.free = make([]Node, 512)
+	}
+	n := &s.free[0]
+	s.free = s.free[1:]
+	return n
 }
 
 // NodeByName returns the node with the given qualified name, or nil.
@@ -127,7 +147,8 @@ func Build(summaries []*summary.ModuleSummary) (*Graph, error) {
 			}
 			return n
 		}
-		n := &Node{ID: len(g.Nodes), Name: name, Module: module, Rec: rec, IDom: -1}
+		n := g.slab.new()
+		*n = Node{ID: len(g.Nodes), Name: name, Module: module, Rec: rec, IDom: -1}
 		g.Nodes = append(g.Nodes, n)
 		g.byName[name] = n.ID
 		return n
@@ -153,32 +174,10 @@ func Build(summaries []*summary.ModuleSummary) (*Graph, error) {
 		addNode(at, "", nil)
 	}
 
-	// Direct call edges.
-	addEdge := func(from, to int, freq int64, indirect bool) {
-		e := &Edge{From: from, To: to, LocalFreq: freq, Indirect: indirect}
-		g.Nodes[from].Out = append(g.Nodes[from].Out, e)
-		g.Nodes[to].In = append(g.Nodes[to].In, e)
-	}
-	for _, ms := range summaries {
-		for i := range ms.Procs {
-			rec := &ms.Procs[i]
-			from := g.byName[rec.Name]
-			for _, cs := range rec.Calls {
-				addEdge(from, g.byName[cs.Callee], cs.Freq, false)
-			}
-			// Indirect calls: conservatively, every address-taken procedure
-			// is a possible target (§7.3).
-			if rec.MakesIndirectCalls {
-				targets := sortedSet(g.AddrTakenProcs)
-				for _, t := range targets {
-					freq := rec.IndirectCallFreq / int64(len(targets))
-					if freq == 0 {
-						freq = 1
-					}
-					addEdge(from, g.byName[t], freq, true)
-				}
-			}
-		}
+	// Direct and indirect call edges. Every callee was given a node above,
+	// so the missing-node error cannot fire here.
+	if err := g.buildEdges(summaries); err != nil {
+		return nil, err
 	}
 
 	for _, n := range g.Nodes {
@@ -208,7 +207,8 @@ func Build(summaries []*summary.ModuleSummary) (*Graph, error) {
 // graphs, §7.2). The new node becomes a start node and the derived
 // analyses (SCCs, dominators, start set) are recomputed.
 func (g *Graph) AddSyntheticCaller(name string, targets []int) *Node {
-	n := &Node{ID: len(g.Nodes), Name: name, IDom: -1}
+	n := g.slab.new()
+	*n = Node{ID: len(g.Nodes), Name: name, IDom: -1}
 	g.Nodes = append(g.Nodes, n)
 	g.byName[name] = n.ID
 	for _, t := range targets {
@@ -430,38 +430,8 @@ func (g *Graph) RebuildEdges(summaries []*summary.ModuleSummary) error {
 	if err := g.BindRecords(summaries); err != nil {
 		return err
 	}
-	for _, nd := range g.Nodes {
-		nd.In = nd.In[:0]
-		nd.Out = nd.Out[:0]
-	}
-
-	addEdge := func(from, to int, freq int64, indirect bool) {
-		e := &Edge{From: from, To: to, LocalFreq: freq, Indirect: indirect}
-		g.Nodes[from].Out = append(g.Nodes[from].Out, e)
-		g.Nodes[to].In = append(g.Nodes[to].In, e)
-	}
-	for _, ms := range summaries {
-		for i := range ms.Procs {
-			rec := &ms.Procs[i]
-			from := g.byName[rec.Name]
-			for _, cs := range rec.Calls {
-				to, ok := g.byName[cs.Callee]
-				if !ok {
-					return fmt.Errorf("callgraph: rebuild would add node %s", cs.Callee)
-				}
-				addEdge(from, to, cs.Freq, false)
-			}
-			if rec.MakesIndirectCalls {
-				targets := sortedSet(g.AddrTakenProcs)
-				for _, t := range targets {
-					freq := rec.IndirectCallFreq / int64(len(targets))
-					if freq == 0 {
-						freq = 1
-					}
-					addEdge(from, g.byName[t], freq, true)
-				}
-			}
-		}
+	if err := g.buildEdges(summaries); err != nil {
+		return err
 	}
 
 	g.Starts = g.Starts[:0]
@@ -486,6 +456,90 @@ func (g *Graph) RebuildEdges(summaries []*summary.ModuleSummary) error {
 	return nil
 }
 
+// buildEdges derives the whole edge set from the summaries onto the
+// existing node set. It runs the iteration twice: a counting pass sizes
+// three exactly-fitting slabs (the Edge values and the per-node Out/In
+// pointer lists, carved per node), then the edge pass fills them — a
+// constant number of allocations however many edges the program has.
+// Edges are added in Build's historical order (summary, record, call
+// site; indirect targets in sorted-name order) because per-node In/Out
+// order feeds float summations downstream: the resulting graph must match
+// an edge-at-a-time construction exactly.
+//
+// A call site whose callee has no node returns an error, signalling
+// RebuildEdges callers to fall back to a full Build; Build itself creates
+// every callee node up front, so the error cannot fire there.
+func (g *Graph) buildEdges(summaries []*summary.ModuleSummary) error {
+	targets := sortedSet(g.AddrTakenProcs)
+	n := len(g.Nodes)
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	total := 0
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			rec := &ms.Procs[i]
+			from := g.byName[rec.Name]
+			for _, cs := range rec.Calls {
+				to, ok := g.byName[cs.Callee]
+				if !ok {
+					return fmt.Errorf("callgraph: rebuild would add node %s", cs.Callee)
+				}
+				outDeg[from]++
+				inDeg[to]++
+				total++
+			}
+			if rec.MakesIndirectCalls {
+				for _, t := range targets {
+					outDeg[from]++
+					inDeg[g.byName[t]]++
+					total++
+				}
+			}
+		}
+	}
+
+	edges := make([]Edge, total)
+	outPtrs := make([]*Edge, total)
+	inPtrs := make([]*Edge, total)
+	oOff, iOff := 0, 0
+	for id, nd := range g.Nodes {
+		nd.Out = outPtrs[oOff : oOff : oOff+outDeg[id]]
+		oOff += outDeg[id]
+		nd.In = inPtrs[iOff : iOff : iOff+inDeg[id]]
+		iOff += inDeg[id]
+	}
+
+	next := 0
+	addEdge := func(from, to int, freq int64, indirect bool) {
+		e := &edges[next]
+		next++
+		*e = Edge{From: from, To: to, LocalFreq: freq, Indirect: indirect}
+		g.Nodes[from].Out = append(g.Nodes[from].Out, e)
+		g.Nodes[to].In = append(g.Nodes[to].In, e)
+	}
+	for _, ms := range summaries {
+		for i := range ms.Procs {
+			rec := &ms.Procs[i]
+			from := g.byName[rec.Name]
+			for _, cs := range rec.Calls {
+				addEdge(from, g.byName[cs.Callee], cs.Freq, false)
+			}
+			// Indirect calls: conservatively, every address-taken procedure
+			// is a possible target (§7.3).
+			if rec.MakesIndirectCalls {
+				for _, t := range targets {
+					freq := rec.IndirectCallFreq / int64(len(targets))
+					if freq == 0 {
+						freq = 1
+					}
+					addEdge(from, g.byName[t], freq, true)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 func sortedSet(m map[string]bool) []string {
 	ks := make([]string, 0, len(m))
 	for k := range m {
@@ -507,18 +561,22 @@ func (g *Graph) computeSCC() {
 		index[i] = -1
 	}
 	var stack []int
-	var sccs [][]int
 	next := 0
+	nextSCC := 0
 
 	type frame struct {
 		v, ei int
 	}
+	// comp and callStack are reused across roots; component membership is
+	// only needed transiently to number and size each SCC, so nothing here
+	// allocates per component.
+	var comp []int
+	var callStack []frame
 	for root := 0; root < n; root++ {
 		if index[root] != -1 {
 			continue
 		}
-		var callStack []frame
-		callStack = append(callStack, frame{v: root})
+		callStack = append(callStack[:0], frame{v: root})
 		index[root] = next
 		low[root] = next
 		next++
@@ -553,7 +611,7 @@ func (g *Graph) computeSCC() {
 				}
 			}
 			if low[v] == index[v] {
-				var comp []int
+				comp = comp[:0]
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
@@ -563,16 +621,15 @@ func (g *Graph) computeSCC() {
 						break
 					}
 				}
-				sccs = append(sccs, comp)
+				// Tarjan emits components in reverse topological order
+				// (callees first); number them in emission order.
+				rec := len(comp) > 1
+				for _, w := range comp {
+					g.Nodes[w].SCC = nextSCC
+					g.Nodes[w].Recursive = rec
+				}
+				nextSCC++
 			}
-		}
-	}
-
-	// Tarjan emits components in reverse topological order (callees first).
-	for ci, comp := range sccs {
-		for _, v := range comp {
-			g.Nodes[v].SCC = ci
-			g.Nodes[v].Recursive = len(comp) > 1
 		}
 	}
 	// Self-loops are recursive too.

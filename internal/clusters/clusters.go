@@ -649,15 +649,18 @@ func pickRegisters(count int, avail, avoid regs.Set) regs.Set {
 	if count <= 0 {
 		return out
 	}
-	take := func(s regs.Set) {
-		for _, r := range s.Regs() {
+	// Walk the sets bit by bit instead of materializing Regs() slices:
+	// this runs once per procedure per analysis, and the two slices were
+	// among the analyzer's hottest remaining allocations.
+	for _, s := range [2]regs.Set{avail.Minus(avoid), avail.Intersect(avoid)} {
+		for r := uint8(0); r < 32; r++ {
 			if out.Count() >= count {
-				return
+				return out
 			}
-			out = out.Add(r)
+			if s.Has(r) {
+				out = out.Add(r)
+			}
 		}
 	}
-	take(avail.Minus(avoid))
-	take(avail.Intersect(avoid))
 	return out
 }

@@ -463,8 +463,13 @@ func DecodeState(data []byte) (*State, error) {
 
 	n := d.count()
 	nodes := make([]*callgraph.Node, n)
+	// Decoded records are slab-allocated: the node count is known up
+	// front, and edges are carved from chunks, so a decode allocates per
+	// slab rather than per record.
+	nodeSlab := make([]callgraph.Node, n)
 	for id := range nodes {
-		nodes[id] = &callgraph.Node{
+		nodes[id] = &nodeSlab[id]
+		*nodes[id] = callgraph.Node{
 			ID:        id,
 			Name:      d.s(),
 			Module:    d.s(),
@@ -474,6 +479,15 @@ func DecodeState(data []byte) (*State, error) {
 			DomDepth:  int(d.u()),
 			Count:     d.f(),
 		}
+	}
+	var edgeSlab []callgraph.Edge
+	newEdge := func() *callgraph.Edge {
+		if len(edgeSlab) == 0 {
+			edgeSlab = make([]callgraph.Edge, 1024)
+		}
+		e := &edgeSlab[0]
+		edgeSlab = edgeSlab[1:]
+		return e
 	}
 	for id := range nodes {
 		m := d.count()
@@ -487,13 +501,15 @@ func DecodeState(data []byte) (*State, error) {
 				d.fail()
 				to = 0
 			}
-			nodes[id].Out[k] = &callgraph.Edge{
+			e := newEdge()
+			*e = callgraph.Edge{
 				From:      id,
 				To:        to,
 				LocalFreq: d.i(),
 				Indirect:  d.bool(),
 				Count:     d.f(),
 			}
+			nodes[id].Out[k] = e
 		}
 	}
 	for id := range nodes {
@@ -535,8 +551,18 @@ func DecodeState(data []byte) (*State, error) {
 	}
 	readFam := func() []ir.BitSet {
 		fam := make([]ir.BitSet, n)
+		// A family occupies n*words 8-byte words on the wire; a product
+		// beyond the remaining buffer is corruption, not an allocation to
+		// attempt (n and words are individually bounded, their product
+		// is not).
+		if uint64(n)*uint64(words) > uint64(len(d.b)/8) {
+			d.fail()
+			return fam
+		}
+		// One backing array per family, mirroring refsets.Compute.
+		backing := make(ir.BitSet, n*words)
 		for i := range fam {
-			bs := make(ir.BitSet, words)
+			bs := backing[i*words : (i+1)*words : (i+1)*words]
 			for k := range bs {
 				bs[k] = d.w()
 			}
@@ -550,6 +576,8 @@ func DecodeState(data []byte) (*State, error) {
 	st.sets = sets
 
 	st.perVar = make([][]*webs.Web, len(vars))
+	var webSlab []webs.Web
+	var webBits ir.BitArena
 	for vi := range st.perVar {
 		m := d.count()
 		if m == 0 {
@@ -557,14 +585,19 @@ func DecodeState(data []byte) (*State, error) {
 		}
 		st.perVar[vi] = make([]*webs.Web, m)
 		for k := range st.perVar[vi] {
-			w := &webs.Web{Var: vars[vi], Color: -1}
+			if len(webSlab) == 0 {
+				webSlab = make([]webs.Web, 64)
+			}
+			w := &webSlab[0]
+			webSlab = webSlab[1:]
+			*w = webs.Web{Var: vars[vi], Color: -1}
 			w.FromCycle = d.bool()
 			w.Priority = d.f()
 			w.RefWeight = d.f()
 			w.EntryWeight = d.f()
 			w.LRefNodes = int(d.u())
 			w.Entries = d.ints()
-			w.Nodes = ir.NewBitSet(n)
+			w.Nodes = webBits.New(n)
 			for _, id := range d.ints() {
 				if id < 0 || id >= n {
 					d.fail()

@@ -287,6 +287,66 @@ func TestCorruptManifestAndArtifacts(t *testing.T) {
 	}
 }
 
+// TestGobEraBuildDirTriggersFullRebuild simulates a build directory
+// written by the gob-era store (format v1, .gob artifact suffixes): the
+// fingerprint mismatch must force a full rebuild — never an attempt to
+// parse gob bytes as wire — and the save that follows must prune the
+// orphaned .gob artifacts.
+func TestGobEraBuildDirTriggersFullRebuild(t *testing.T) {
+	dir := t.TempDir()
+	ft := &fakeToolchain{}
+	tc := ft.toolchain()
+
+	// A gob-era directory: v1 fingerprint, artifacts named *.gob with
+	// contents the wire decoders would reject outright.
+	gobArtifacts := []string{"p1-main_mc-deadbeef.gob", "obj-main_mc-deadbeef.gob", "p1-lib_mc-cafef00d.gob", "obj-lib_mc-cafef00d.gob"}
+	old := manifest{
+		Fingerprint: "ipra-build/v1|" + tc.Fingerprint,
+		Modules: map[string]*moduleState{
+			"main.mc": {SourceHash: "stale", Phase1File: gobArtifacts[0], ObjectFile: gobArtifacts[1]},
+			"lib.mc":  {SourceHash: "stale", Phase1File: gobArtifacts[2], ObjectFile: gobArtifacts[3]},
+		},
+	}
+	data, err := json.Marshal(&old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gobArtifacts {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("\x13\xff\x81gob-era bytes"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	out := mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1, Explain: &buf})
+	if !out.StateReset {
+		t.Error("gob-era build dir must be reported as a state reset")
+	}
+	if out.Phase1Rebuilds != 2 || out.Phase2Rebuilds != 2 {
+		t.Errorf("rebuilds = %d/%d, want full rebuild", out.Phase1Rebuilds, out.Phase2Rebuilds)
+	}
+	if !strings.Contains(buf.String(), "fingerprint mismatch") {
+		t.Errorf("explain output missing fingerprint-mismatch notice:\n%s", &buf)
+	}
+
+	// The stale gob artifacts are unreferenced by the new manifest and
+	// must have been pruned.
+	for _, name := range gobArtifacts {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale gob-era artifact %s survived the format upgrade", name)
+		}
+	}
+
+	// The upgraded state is valid: an immediate rebuild is a no-op.
+	out = mustBuild(t, dir, twoModules(), tc, Options{Jobs: 1})
+	if out.Phase1Rebuilds != 0 || out.Phase2Rebuilds != 0 {
+		t.Errorf("post-upgrade rebuild not clean: %d/%d", out.Phase1Rebuilds, out.Phase2Rebuilds)
+	}
+}
+
 func TestModuleRemovalPrunesArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	ft := &fakeToolchain{}

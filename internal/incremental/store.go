@@ -3,10 +3,10 @@
 //
 // Layout:
 //
-//	<build-dir>/manifest.json   fingerprint + per-module state (below)
-//	<build-dir>/p1-<module>.gob phase-1 record (IR module + summary, the
-//	                            cache package's entry encoding)
-//	<build-dir>/obj-<module>.gob compiled object (parv object encoding)
+//	<build-dir>/manifest.json    fingerprint + per-module state (below)
+//	<build-dir>/p1-<module>.wire phase-1 record (IR module + summary, the
+//	                             cache package's entry encoding)
+//	<build-dir>/obj-<module>.wire compiled object (parv object encoding)
 //
 // The manifest records, per module: the phase-1 source hash, the names of
 // the two artifact files, and a hash of every program-database directive
@@ -36,9 +36,11 @@ import (
 )
 
 // FormatVersion versions the build directory layout and manifest schema.
-// Bump it whenever either changes shape or meaning; older directories are
-// then rebuilt from scratch instead of misread.
-const FormatVersion = "ipra-build/v1"
+// Bump it whenever either changes shape or meaning — including the
+// encoding of any artifact the directory stores — so older directories
+// are rebuilt from scratch instead of misread. v2: artifacts moved from
+// gob to the wire format (and .gob suffixes to .wire).
+const FormatVersion = "ipra-build/v2"
 
 const manifestName = "manifest.json"
 
@@ -128,7 +130,7 @@ func artifactFile(prefix, module string) string {
 		}
 	}, module)
 	suffix := cache.SourceKey(module, nil, "artifact-name").Hex()[:8]
-	return prefix + "-" + sanitized + "-" + suffix + ".gob"
+	return prefix + "-" + sanitized + "-" + suffix + ".wire"
 }
 
 // path resolves a manifest-recorded base name inside the build directory,

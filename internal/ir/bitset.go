@@ -123,3 +123,34 @@ func (s BitSet) Fill(n int) {
 		s[n/64] |= (1 << uint(rem)) - 1
 	}
 }
+
+// BitArena carves bit sets out of large zeroed slabs, batching the
+// allocations a construction loop would otherwise pay once per set (web
+// identification builds tens of thousands of node sets per analysis).
+// Carved sets are permanently backed — the arena only batches allocation
+// and never reclaims or reuses memory — so they may outlive the arena
+// freely. An arena must not be shared across goroutines; the zero value
+// is ready to use.
+type BitArena struct {
+	free []uint64
+}
+
+// New returns a zeroed bit set able to hold values in [0, n], carved from
+// the arena's current slab. The capacity is clipped so appends through
+// the set can never touch a sibling's words.
+func (a *BitArena) New(n int) BitSet {
+	w := (n + 64) / 64
+	if len(a.free) < w {
+		// Size chunks at several sets' worth so a typical construction
+		// pays one allocation for many sets, without holding more than
+		// one chunk of slack.
+		chunk := 8 * w
+		if chunk < 1024 {
+			chunk = 1024
+		}
+		a.free = make([]uint64, chunk)
+	}
+	s := BitSet(a.free[:w:w])
+	a.free = a.free[w:]
+	return s
+}

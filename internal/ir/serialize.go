@@ -1,20 +1,44 @@
 package ir
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"os"
+	"sort"
+
+	"ipra/internal/wire"
 )
+
+// Wire format identity of a standalone intermediate file. Bump the version
+// whenever the body layout below changes shape or meaning.
+const (
+	wireKind    = "module"
+	wireVersion = 1
+)
+
+// EncodeModule serializes a module as a standalone wire file.
+func EncodeModule(m *Module) []byte {
+	e := wire.NewEncoder(wireKind, wireVersion)
+	AppendModule(e, m)
+	return e.Finish()
+}
+
+// DecodeModule is the inverse of EncodeModule.
+func DecodeModule(data []byte) (*Module, error) {
+	d, err := wire.NewDecoder(data, wireKind, wireVersion)
+	if err != nil {
+		return nil, err
+	}
+	m := ReadModule(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
 // WriteFile saves a module as an intermediate file (the artifact the
 // compiler first phase hands to the second phase, §2).
 func WriteFile(path string, m *Module) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		return fmt.Errorf("ir: encode %s: %w", m.Name, err)
-	}
-	return os.WriteFile(path, buf.Bytes(), 0o644)
+	return os.WriteFile(path, EncodeModule(m), 0o644)
 }
 
 // ReadFile loads an intermediate file.
@@ -23,24 +47,293 @@ func ReadFile(path string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	var m Module
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+	m, err := DecodeModule(data)
+	if err != nil {
 		return nil, fmt.Errorf("ir: decode %s: %w", path, err)
 	}
-	return &m, nil
+	return m, nil
 }
 
-// Clone deep-copies a module. The optimizer mutates IR in place, and the
-// driver compiles the same phase-1 output under several configurations, so
-// each compilation works on its own copy.
+// AppendModule encodes m into an in-progress wire body, so composite
+// artifacts (the cache entry format) can embed a module without nested
+// framing and share one string table with their other fields.
+func AppendModule(e *wire.Encoder, m *Module) {
+	e.Str(m.Name)
+	e.U(uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		appendFunc(e, f)
+	}
+	e.U(uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		appendGlobal(e, g)
+	}
+	e.Strs(m.ExternFuncs)
+}
+
+func appendFunc(e *wire.Encoder, f *Func) {
+	e.Str(f.Name)
+	e.Str(f.Module)
+	e.Bool(f.Static)
+	e.U(uint64(f.NParams))
+	appendRegs(e, f.Params)
+	e.Bool(f.ResultVoid)
+	e.I(int64(f.NextReg))
+	e.I(int64(f.FrameSize))
+	// Pinned registers in ascending register order: maps must never leak
+	// iteration order into the bytes.
+	e.U(uint64(len(f.Pinned)))
+	if len(f.Pinned) > 0 {
+		regs := make([]int, 0, len(f.Pinned))
+		for r := range f.Pinned {
+			regs = append(regs, int(r))
+		}
+		sort.Ints(regs)
+		for _, r := range regs {
+			e.I(int64(r))
+			e.Byte(f.Pinned[Reg(r)])
+		}
+	}
+	e.U(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		appendBlock(e, b)
+	}
+}
+
+func appendBlock(e *wire.Encoder, b *Block) {
+	e.U(uint64(b.ID))
+	e.U(uint64(b.LoopDepth))
+	e.U(uint64(len(b.Instrs)))
+	for i := range b.Instrs {
+		appendInstr(e, &b.Instrs[i])
+	}
+	e.U(uint64(b.Term.Kind))
+	e.I(int64(b.Term.Cond))
+	e.I(int64(b.Term.True))
+	e.I(int64(b.Term.False))
+	e.I(int64(b.Term.Val))
+	e.Bool(b.Term.HasVal)
+	e.Ints(b.Preds)
+	e.Ints(b.Succs)
+}
+
+func appendInstr(e *wire.Encoder, in *Instr) {
+	e.U(uint64(in.Op))
+	e.I(int64(in.Dst))
+	e.I(int64(in.A))
+	e.I(int64(in.B))
+	e.I(in.Imm)
+	e.U(uint64(in.Mem.Kind))
+	e.Str(in.Mem.Sym)
+	e.I(int64(in.Mem.Base))
+	e.I(int64(in.Mem.Off))
+	e.Byte(in.Mem.Size)
+	e.Bool(in.Mem.Singleton)
+	e.Str(in.Callee)
+	e.Bool(in.IndirectCall)
+	appendRegs(e, in.Args)
+	e.Bool(in.ResultVoid)
+}
+
+func appendGlobal(e *wire.Encoder, g *Global) {
+	e.Str(g.Name)
+	e.Str(g.Module)
+	e.I(int64(g.Size))
+	// Init's nil/non-nil distinction is meaningful (nil marks an extern
+	// declaration), so it is encoded explicitly.
+	e.Bool(g.Init != nil)
+	if g.Init != nil {
+		e.Bytes(g.Init)
+	}
+	e.U(uint64(len(g.Relocs)))
+	for _, r := range g.Relocs {
+		e.I(int64(r.Offset))
+		e.Str(r.Target)
+		e.I(int64(r.Addend))
+	}
+	e.Bool(g.Defined)
+	e.Bool(g.Static)
+	e.Bool(g.AddrTaken)
+	e.Bool(g.Scalar)
+}
+
+func appendRegs(e *wire.Encoder, rs []Reg) {
+	e.U(uint64(len(rs)))
+	for _, r := range rs {
+		e.I(int64(r))
+	}
+}
+
+// ReadModule decodes a module from an in-progress wire body (the inverse
+// of AppendModule). Errors are reported through the decoder's sticky
+// error; the caller checks Finish (or Err) afterward.
+func ReadModule(d *wire.Decoder) *Module {
+	m := &Module{Name: d.Str()}
+	n := d.Count(1)
+	for i := 0; i < n; i++ {
+		m.Funcs = append(m.Funcs, readFunc(d))
+	}
+	n = d.Count(1)
+	for i := 0; i < n; i++ {
+		m.Globals = append(m.Globals, readGlobal(d))
+	}
+	m.ExternFuncs = d.Strs()
+	return m
+}
+
+func readFunc(d *wire.Decoder) *Func {
+	f := &Func{
+		Name:    d.Str(),
+		Module:  d.Str(),
+		Static:  d.Bool(),
+		NParams: int(d.U()),
+	}
+	f.Params = readRegs(d)
+	f.ResultVoid = d.Bool()
+	f.NextReg = Reg(d.I())
+	f.FrameSize = int32(d.I())
+	if n := d.Count(2); n > 0 {
+		f.Pinned = make(map[Reg]uint8, n)
+		for i := 0; i < n; i++ {
+			r := Reg(d.I())
+			f.Pinned[r] = d.Byte()
+		}
+	}
+	n := d.Count(1)
+	for i := 0; i < n; i++ {
+		f.Blocks = append(f.Blocks, readBlock(d))
+	}
+	return f
+}
+
+func readBlock(d *wire.Decoder) *Block {
+	b := &Block{
+		ID:        int(d.U()),
+		LoopDepth: int(d.U()),
+	}
+	n := d.Count(1)
+	if n > 0 {
+		b.Instrs = make([]Instr, n)
+		for i := range b.Instrs {
+			readInstr(d, &b.Instrs[i])
+		}
+	}
+	b.Term.Kind = TermKind(d.U())
+	b.Term.Cond = Reg(d.I())
+	b.Term.True = int(d.I())
+	b.Term.False = int(d.I())
+	b.Term.Val = Reg(d.I())
+	b.Term.HasVal = d.Bool()
+	b.Preds = d.Ints()
+	b.Succs = d.Ints()
+	return b
+}
+
+func readInstr(d *wire.Decoder, in *Instr) {
+	in.Op = Op(d.U())
+	in.Dst = Reg(d.I())
+	in.A = Reg(d.I())
+	in.B = Reg(d.I())
+	in.Imm = d.I()
+	in.Mem.Kind = MemKind(d.U())
+	in.Mem.Sym = d.Str()
+	in.Mem.Base = Reg(d.I())
+	in.Mem.Off = int32(d.I())
+	in.Mem.Size = d.Byte()
+	in.Mem.Singleton = d.Bool()
+	in.Callee = d.Str()
+	in.IndirectCall = d.Bool()
+	in.Args = readRegs(d)
+	in.ResultVoid = d.Bool()
+}
+
+func readGlobal(d *wire.Decoder) *Global {
+	g := &Global{
+		Name:   d.Str(),
+		Module: d.Str(),
+		Size:   int32(d.I()),
+	}
+	if d.Bool() {
+		g.Init = d.Bytes()
+		if g.Init == nil {
+			g.Init = []byte{}
+		}
+	}
+	if n := d.Count(3); n > 0 {
+		g.Relocs = make([]Reloc, n)
+		for i := range g.Relocs {
+			g.Relocs[i] = Reloc{
+				Offset: int32(d.I()),
+				Target: d.Str(),
+				Addend: int32(d.I()),
+			}
+		}
+	}
+	g.Defined = d.Bool()
+	g.Static = d.Bool()
+	g.AddrTaken = d.Bool()
+	g.Scalar = d.Bool()
+	return g
+}
+
+func readRegs(d *wire.Decoder) []Reg {
+	n := d.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Reg, n)
+	for i := range out {
+		out[i] = Reg(d.I())
+	}
+	return out
+}
+
+// Clone deep-copies a module with a direct structural copy. The optimizer
+// mutates IR in place, and the driver compiles the same phase-1 output
+// under several configurations, so each compilation works on its own copy.
 func (m *Module) Clone() *Module {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		panic(fmt.Sprintf("ir: clone encode: %v", err))
+	out := &Module{Name: m.Name}
+	if m.Funcs != nil {
+		out.Funcs = make([]*Func, len(m.Funcs))
+		for i, f := range m.Funcs {
+			out.Funcs[i] = f.clone()
+		}
 	}
-	var out Module
-	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
-		panic(fmt.Sprintf("ir: clone decode: %v", err))
+	if m.Globals != nil {
+		out.Globals = make([]*Global, len(m.Globals))
+		for i, g := range m.Globals {
+			cp := *g
+			cp.Init = append([]byte(nil), g.Init...)
+			cp.Relocs = append([]Reloc(nil), g.Relocs...)
+			out.Globals[i] = &cp
+		}
 	}
-	return &out
+	out.ExternFuncs = append([]string(nil), m.ExternFuncs...)
+	return out
+}
+
+func (f *Func) clone() *Func {
+	cp := *f
+	cp.Params = append([]Reg(nil), f.Params...)
+	if f.Pinned != nil {
+		cp.Pinned = make(map[Reg]uint8, len(f.Pinned))
+		for r, p := range f.Pinned {
+			cp.Pinned[r] = p
+		}
+	}
+	if f.Blocks != nil {
+		cp.Blocks = make([]*Block, len(f.Blocks))
+		for i, b := range f.Blocks {
+			nb := *b
+			nb.Instrs = append([]Instr(nil), b.Instrs...)
+			for j := range nb.Instrs {
+				if nb.Instrs[j].Args != nil {
+					nb.Instrs[j].Args = append([]Reg(nil), nb.Instrs[j].Args...)
+				}
+			}
+			nb.Preds = append([]int(nil), b.Preds...)
+			nb.Succs = append([]int(nil), b.Succs...)
+			cp.Blocks[i] = &nb
+		}
+	}
+	return &cp
 }

@@ -97,8 +97,8 @@ func (e *Executable) FuncOfPC(pc int) int {
 	return int(e.funcOfPC[pc])
 }
 
-// ensureIndex rebuilds the pc→function table, which is derived state not
-// carried by serialization (gob skips unexported fields).
+// ensureIndex rebuilds the pc→function table, which is derived state the
+// wire encoding deliberately does not carry.
 func (e *Executable) ensureIndex() {
 	if len(e.funcOfPC) == len(e.Code) {
 		return

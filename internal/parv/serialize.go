@@ -1,87 +1,230 @@
-// Canonical on-disk formats for objects and executables.
+// Canonical on-disk formats for objects and executables, both in the
+// shared wire format (internal/wire).
 //
-// Object files are plain gob: an Object holds only slices and scalars, and
-// they are only ever read back into memory, so round-trip fidelity is all
-// they need. Executables carry a stronger guarantee — the incremental
-// build system's load-bearing invariant is a plain byte comparison ("an
-// incremental rebuild produces a byte-identical executable to a clean
-// build"), including across separate compiler processes. Gob cannot
-// deliver that: its type IDs come from a process-global registry, so the
-// same value encodes to different bytes depending on what else the
-// process gob-encoded first, and Executable's name→index maps would add
-// randomized iteration order on top. Executables are therefore encoded as
-// JSON of a map-free view (struct fields in declaration order, map
-// contents flattened into name-sorted slices), which is deterministic
-// across processes; the maps are rebuilt on read.
+// The incremental build system's load-bearing invariant is a plain byte
+// comparison — "an incremental rebuild produces a byte-identical
+// executable to a clean build" — including across separate compiler
+// processes. The wire format guarantees that by construction: no
+// reflection, no process-global type registry, and no map iteration order
+// reaches the bytes (Executable's name→index maps are flattened into
+// name-sorted slices and rebuilt on read). The same value always encodes
+// to the same bytes in any process.
 package parv
 
 import (
 	"bytes"
-	"encoding/gob"
-	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
+
+	"ipra/internal/wire"
 )
 
-// exeView is the deterministic wire form of an Executable.
-type exeView struct {
-	Code     []Instr
-	Funcs    []FuncInfo
-	Data     []byte
-	Globals  []globalAddr // GlobalAddr flattened, sorted by name
-	DataSize int32
-	Entry    int
+// Wire format identities. Bump a version whenever that body layout
+// changes shape or meaning.
+const (
+	objectWireKind    = "object"
+	objectWireVersion = 1
+	exeWireKind       = "exe"
+	exeWireVersion    = 1
+)
+
+func appendInstr(e *wire.Encoder, in *Instr) {
+	e.Byte(byte(in.Op))
+	e.Byte(in.Rd)
+	e.Byte(in.Ra)
+	e.Byte(in.Rb)
+	e.I(int64(in.Imm))
+	e.Byte(byte(in.Cond))
+	e.I(int64(in.Target))
+	e.Byte(in.MemSize)
+	e.Bool(in.Singleton)
+	e.Str(in.Sym)
 }
 
-type globalAddr struct {
-	Name string
-	Addr int32
+func readInstr(d *wire.Decoder, in *Instr) {
+	in.Op = Op(d.Byte())
+	in.Rd = d.Byte()
+	in.Ra = d.Byte()
+	in.Rb = d.Byte()
+	in.Imm = int32(d.I())
+	in.Cond = Cond(d.Byte())
+	in.Target = int32(d.I())
+	in.MemSize = d.Byte()
+	in.Singleton = d.Bool()
+	in.Sym = d.Str()
+}
+
+func appendCode(e *wire.Encoder, code []Instr) {
+	e.U(uint64(len(code)))
+	for i := range code {
+		appendInstr(e, &code[i])
+	}
+}
+
+func readCode(d *wire.Decoder) []Instr {
+	n := d.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Instr, n)
+	for i := range out {
+		readInstr(d, &out[i])
+	}
+	return out
+}
+
+// EncodeObject serializes a compiled module in its canonical form.
+func EncodeObject(o *Object) []byte {
+	e := wire.NewEncoder(objectWireKind, objectWireVersion)
+	e.Str(o.Module)
+	e.U(uint64(len(o.Funcs)))
+	for _, f := range o.Funcs {
+		e.Str(f.Name)
+		appendCode(e, f.Code)
+		e.U(uint64(len(f.Relocs)))
+		for _, r := range f.Relocs {
+			e.U(uint64(r.Index))
+			e.U(uint64(r.Kind))
+			e.Str(r.Sym)
+			e.I(int64(r.Addend))
+		}
+	}
+	e.U(uint64(len(o.Globals)))
+	for _, g := range o.Globals {
+		e.Str(g.Name)
+		e.I(int64(g.Size))
+		e.Bool(g.Init != nil)
+		if g.Init != nil {
+			e.Bytes(g.Init)
+		}
+		e.Bool(g.Defined)
+		e.U(uint64(len(g.DataRelocs)))
+		for _, r := range g.DataRelocs {
+			e.I(int64(r.Offset))
+			e.Str(r.Target)
+			e.I(int64(r.Addend))
+		}
+	}
+	return e.Finish()
+}
+
+// DecodeObject is the inverse of EncodeObject.
+func DecodeObject(data []byte) (*Object, error) {
+	d, err := wire.NewDecoder(data, objectWireKind, objectWireVersion)
+	if err != nil {
+		return nil, err
+	}
+	o := &Object{Module: d.Str()}
+	n := d.Count(1)
+	for i := 0; i < n; i++ {
+		f := &ObjFunc{Name: d.Str(), Code: readCode(d)}
+		if m := d.Count(4); m > 0 {
+			f.Relocs = make([]Reloc, m)
+			for k := range f.Relocs {
+				f.Relocs[k] = Reloc{
+					Index:  int(d.U()),
+					Kind:   RelocKind(d.U()),
+					Sym:    d.Str(),
+					Addend: int32(d.I()),
+				}
+			}
+		}
+		o.Funcs = append(o.Funcs, f)
+	}
+	n = d.Count(1)
+	for i := 0; i < n; i++ {
+		g := &DataSym{Name: d.Str(), Size: int32(d.I())}
+		if d.Bool() {
+			g.Init = d.Bytes()
+			if g.Init == nil {
+				g.Init = []byte{}
+			}
+		}
+		g.Defined = d.Bool()
+		if m := d.Count(3); m > 0 {
+			g.DataRelocs = make([]DataReloc, m)
+			for k := range g.DataRelocs {
+				g.DataRelocs[k] = DataReloc{
+					Offset: int32(d.I()),
+					Target: d.Str(),
+					Addend: int32(d.I()),
+				}
+			}
+		}
+		o.Globals = append(o.Globals, g)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return o, nil
 }
 
 // EncodeExecutable writes the canonical serialization of exe: the same
 // executable always encodes to the same bytes, so on-disk images can be
 // compared with a plain byte diff.
 func EncodeExecutable(buf *bytes.Buffer, exe *Executable) error {
-	v := exeView{
-		Code:     exe.Code,
-		Funcs:    exe.Funcs,
-		Data:     exe.Data,
-		DataSize: exe.DataSize,
-		Entry:    exe.Entry,
+	e := wire.NewEncoder(exeWireKind, exeWireVersion)
+	appendCode(e, exe.Code)
+	e.U(uint64(len(exe.Funcs)))
+	for _, fi := range exe.Funcs {
+		e.Str(fi.Name)
+		e.U(uint64(fi.Start))
+		e.U(uint64(fi.End))
 	}
-	v.Globals = make([]globalAddr, 0, len(exe.GlobalAddr))
-	for name, addr := range exe.GlobalAddr {
-		v.Globals = append(v.Globals, globalAddr{Name: name, Addr: addr})
+	e.Bytes(exe.Data)
+	// GlobalAddr flattened in name order: map iteration must not reach the
+	// bytes.
+	names := make([]string, 0, len(exe.GlobalAddr))
+	for name := range exe.GlobalAddr {
+		names = append(names, name)
 	}
-	sort.Slice(v.Globals, func(i, j int) bool { return v.Globals[i].Name < v.Globals[j].Name })
-	if err := json.NewEncoder(buf).Encode(&v); err != nil {
-		return fmt.Errorf("parv: encode executable: %w", err)
+	sort.Strings(names)
+	e.U(uint64(len(names)))
+	for _, name := range names {
+		e.Str(name)
+		e.I(int64(exe.GlobalAddr[name]))
 	}
+	e.I(int64(exe.DataSize))
+	e.I(int64(exe.Entry))
+	buf.Write(e.Finish())
 	return nil
 }
 
 // DecodeExecutable reads a canonical executable image, rebuilding the
 // derived name→index maps.
 func DecodeExecutable(data []byte) (*Executable, error) {
-	var v exeView
-	if err := json.Unmarshal(data, &v); err != nil {
+	d, err := wire.NewDecoder(data, exeWireKind, exeWireVersion)
+	if err != nil {
 		return nil, fmt.Errorf("parv: decode executable: %w", err)
 	}
-	exe := &Executable{
-		Code:     v.Code,
-		Funcs:    v.Funcs,
-		Data:     v.Data,
-		DataSize: v.DataSize,
-		Entry:    v.Entry,
+	exe := &Executable{Code: readCode(d)}
+	n := d.Count(3)
+	if n > 0 {
+		exe.Funcs = make([]FuncInfo, n)
+		for i := range exe.Funcs {
+			exe.Funcs[i] = FuncInfo{
+				Name:  d.Str(),
+				Start: int(d.U()),
+				End:   int(d.U()),
+			}
+		}
+	}
+	exe.Data = d.Bytes()
+	exe.GlobalAddr = make(map[string]int32)
+	n = d.Count(2)
+	for i := 0; i < n; i++ {
+		name := d.Str()
+		exe.GlobalAddr[name] = int32(d.I())
+	}
+	exe.DataSize = int32(d.I())
+	exe.Entry = int(d.I())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("parv: decode executable: %w", err)
 	}
 	exe.FuncIdx = make(map[string]int, len(exe.Funcs))
 	for i, fi := range exe.Funcs {
 		exe.FuncIdx[fi.Name] = i
-	}
-	exe.GlobalAddr = make(map[string]int32, len(v.Globals))
-	for _, g := range v.Globals {
-		exe.GlobalAddr[g.Name] = g.Addr
 	}
 	return exe, nil
 }
@@ -108,14 +251,9 @@ func ReadExecutableFile(path string) (*Executable, error) {
 	return exe, nil
 }
 
-// WriteObjectFile stores a compiled module at path (gob; deterministic
-// because Object holds no maps).
+// WriteObjectFile stores a compiled module at path.
 func WriteObjectFile(path string, o *Object) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
-		return fmt.Errorf("parv: encode object %s: %w", o.Module, err)
-	}
-	return os.WriteFile(path, buf.Bytes(), 0o644)
+	return os.WriteFile(path, EncodeObject(o), 0o644)
 }
 
 // ReadObjectFile loads an object written by WriteObjectFile.
@@ -124,9 +262,9 @@ func ReadObjectFile(path string) (*Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	var o Object
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&o); err != nil {
+	o, err := DecodeObject(data)
+	if err != nil {
 		return nil, fmt.Errorf("parv: %s: %w", path, err)
 	}
-	return &o, nil
+	return o, nil
 }

@@ -136,7 +136,14 @@ func promotedLess(a, b *PromotedGlobal) bool {
 // CanonicalBytes serializes in. Producers that sort at construction time
 // let every later hash of the directives skip its defensive copy-and-sort.
 func SortPromoted(ps []PromotedGlobal) {
-	sort.Slice(ps, func(i, j int) bool { return promotedLess(&ps[i], &ps[j]) })
+	// Insertion sort: promotion lists hold at most a handful of entries
+	// (bounded by the callee-saves set), and sort.Slice's reflection-based
+	// swapper costs an allocation per call on a per-procedure hot path.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && promotedLess(&ps[j], &ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
 }
 
 // CanonicalBytes returns a stable serialization of the directives: the

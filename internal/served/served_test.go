@@ -145,6 +145,10 @@ func TestServedStatelessMatchesStateful(t *testing.T) {
 // TestServedUnixSocket exercises the real daemon transport: a Unix
 // socket listener, health handshake, one build, graceful shutdown.
 func TestServedUnixSocket(t *testing.T) {
+	// Start from a cold phase-1 cache so the counter assertions below see
+	// both sides deterministically: the first build must encode (Put), the
+	// second must decode (hit), no matter which tests ran before.
+	ipra.ResetPhase1Cache()
 	dir, err := os.MkdirTemp("", "served")
 	if err != nil {
 		t.Fatal(err)
@@ -177,15 +181,29 @@ func TestServedUnixSocket(t *testing.T) {
 		t.Fatal("unix-socket build differs from local build")
 	}
 
+	// A second build under a different config hits the phase-1 cache, so
+	// the stats totals below must show both sides of the serialization
+	// cost: encode from the first build's stores, decode from this hit.
+	if _, err := client.Build(context.Background(), &BuildRequest{Config: "B", Sources: srcs}); err != nil {
+		t.Fatal(err)
+	}
+
 	stats, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Counters["served.builds"] != 1 {
-		t.Errorf("served.builds = %d, want 1", stats.Counters["served.builds"])
+	if stats.Counters["served.builds"] != 2 {
+		t.Errorf("served.builds = %d, want 2", stats.Counters["served.builds"])
 	}
 	if stats.Fingerprint != ipra.ToolchainFingerprint() {
 		t.Errorf("stats fingerprint = %q", stats.Fingerprint)
+	}
+	// Request-scoped counters merge into the server totals, so /v1/stats
+	// exposes the wire serialization cost of the builds it served.
+	for _, c := range []string{"cache.encode_ns", "cache.encode_bytes", "cache.decode_ns", "cache.decode_bytes"} {
+		if stats.Counters[c] <= 0 {
+			t.Errorf("stats counter %s = %d, want > 0", c, stats.Counters[c])
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -1,6 +1,7 @@
 package webs
 
 import (
+	"math/bits"
 	"sort"
 
 	"ipra/internal/callgraph"
@@ -48,24 +49,31 @@ func ComputePriorities(g *callgraph.Graph, sets *refsets.Sets, ws []*Web) {
 		w.RefWeight = 0
 		w.LRefNodes = 0
 		vi := sets.Index[w.Var]
-		w.Nodes.ForEach(func(id int) {
-			nd := g.Nodes[id]
-			if sets.LRef[id].Has(vi) {
+		// Word loop instead of ForEach: the closure would be heap-allocated
+		// once per web.
+		for wi, word := range w.Nodes {
+			for word != 0 {
+				id := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				nd := g.Nodes[id]
+				if !sets.LRef[id].Has(vi) {
+					continue
+				}
 				w.LRefNodes++
+				if nd.Rec == nil {
+					continue
+				}
+				calls := nd.Count
+				if calls < 1 {
+					calls = 1
+				}
+				var callsOut float64
+				for _, e := range nd.Out {
+					callsOut += e.Count
+				}
+				w.RefWeight += 2*calls + 2*callsOut
 			}
-			if nd.Rec == nil || !sets.LRef[id].Has(vi) {
-				return
-			}
-			calls := nd.Count
-			if calls < 1 {
-				calls = 1
-			}
-			var callsOut float64
-			for _, e := range nd.Out {
-				callsOut += e.Count
-			}
-			w.RefWeight += 2*calls + 2*callsOut
-		})
+		}
 		w.EntryWeight = 0
 		for _, e := range w.Entries {
 			c := g.Nodes[e].Count
@@ -128,6 +136,38 @@ func considered(ws []*Web) []*Web {
 	return cs
 }
 
+// carveWebLists builds the node → web lists backbone for the coloring
+// loops: per-node slices carved out of one slab, each with capacity for
+// every considered web containing that node. The loops only ever append
+// colored webs, so full considered membership is an upper bound (which
+// webs end up colored cannot be known before coloring runs) — precounting
+// it replaces per-node append growth, one allocation per list on the
+// analyzer's hottest coloring path, with two slab allocations total.
+func carveWebLists(cs []*Web, maxNodes int) [][]*Web {
+	counts := make([]int, maxNodes)
+	total := 0
+	for _, w := range cs {
+		for wi, word := range w.Nodes {
+			for word != 0 {
+				id := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				counts[id]++
+				total++
+			}
+		}
+	}
+	slab := make([]*Web, total)
+	lists := make([][]*Web, maxNodes)
+	off := 0
+	for id, c := range counts {
+		if c > 0 {
+			lists[id] = slab[off : off : off+c]
+			off += c
+		}
+	}
+	return lists
+}
+
 // Color assigns register indexes 0..numRegs-1 to webs in priority order
 // (§4.1.3): each web receives the lowest index not used by an interfering
 // web already colored. Webs left uncolored keep Color == -1 (their
@@ -150,7 +190,7 @@ func Color(ws []*Web, numRegs int) int {
 			maxNodes = n
 		}
 	}
-	webAt := make([][]*Web, maxNodes) // node -> colored webs containing it
+	webAt := carveWebLists(cs, maxNodes) // node -> colored webs containing it
 	inUse := make([]bool, numRegs)
 	ids := make([]int, 0, 64)
 	for _, w := range cs {
@@ -190,9 +230,10 @@ func Color(ws []*Web, numRegs int) int {
 // totalRegs is the size of the callee-saves set.
 func GreedyColor(ws []*Web, g *callgraph.Graph, need func(int) int, totalRegs int) int {
 	cs := considered(ws)
-	webAt := make([][]*Web, len(g.Nodes)) // node -> colored webs containing it
+	webAt := carveWebLists(cs, len(g.Nodes)) // node -> colored webs containing it
 	colored := 0
 	ids := make([]int, 0, 64)
+	inUse := make([]bool, totalRegs)
 	for _, w := range cs {
 		ids = w.Nodes.Elems(ids[:0])
 		// Head-room check at every member node.
@@ -208,7 +249,9 @@ func GreedyColor(ws []*Web, g *callgraph.Graph, need func(int) int, totalRegs in
 			continue
 		}
 		// Lowest color unused by interfering colored webs.
-		inUse := make([]bool, totalRegs)
+		for c := range inUse {
+			inUse[c] = false
+		}
 		for _, id := range ids {
 			for _, x := range webAt[id] {
 				if x.Color >= 0 {

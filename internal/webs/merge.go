@@ -91,7 +91,7 @@ func tryMerge(g *callgraph.Graph, sets *refsets.Sets, v string, group []*Web, id
 	region.OrWith(inWebs)
 
 	w := &Web{ID: id, Var: v, Nodes: ir.NewBitSet(len(g.Nodes)), Color: -1}
-	growWeb(g, sets, vi, w, region.Elems(nil))
+	growWeb(g, sets, vi, w, region.Elems(nil), new(identArena))
 	computeEntries(g, w)
 	if len(w.Entries) == 0 {
 		return nil

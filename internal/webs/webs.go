@@ -13,6 +13,7 @@ package webs
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"ipra/internal/callgraph"
@@ -116,11 +117,38 @@ func newIdentifyState(g *callgraph.Graph, sets *refsets.Sets, lazy bool) *identi
 	if lazy {
 		st.lrefReady = ir.NewBitSet(len(sets.Vars))
 	} else {
+		// Two-pass slab build: count every (node, variable) L_REF pair,
+		// carve one backing slab, then fill. Per-variable appends would pay
+		// an allocation chain per variable; the word loop also avoids a
+		// heap-allocated ForEach closure per node.
+		counts := make([]int, len(sets.Vars))
+		total := 0
 		for _, nd := range g.Nodes {
-			p := nd.ID
-			sets.LRef[p].ForEach(func(vi int) {
-				st.lrefNodes[vi] = append(st.lrefNodes[vi], p)
-			})
+			for wi, word := range sets.LRef[nd.ID] {
+				for word != 0 {
+					vi := wi*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					counts[vi]++
+					total++
+				}
+			}
+		}
+		slab := make([]int, total)
+		off := 0
+		for vi, c := range counts {
+			if c > 0 {
+				st.lrefNodes[vi] = slab[off:off : off+c]
+				off += c
+			}
+		}
+		for _, nd := range g.Nodes {
+			for wi, word := range sets.LRef[nd.ID] {
+				for word != 0 {
+					vi := wi*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					st.lrefNodes[vi] = append(st.lrefNodes[vi], nd.ID)
+				}
+			}
 		}
 	}
 	maxSCC := -1
@@ -130,6 +158,18 @@ func newIdentifyState(g *callgraph.Graph, sets *refsets.Sets, lazy bool) *identi
 		}
 	}
 	st.sccMembers = make([][]int, maxSCC+1)
+	sccCounts := make([]int, maxSCC+1)
+	for _, nd := range g.Nodes {
+		sccCounts[nd.SCC]++
+	}
+	sccSlab := make([]int, len(g.Nodes))
+	off := 0
+	for c, n := range sccCounts {
+		if n > 0 {
+			st.sccMembers[c] = sccSlab[off:off : off+n]
+			off += n
+		}
+	}
 	for _, nd := range g.Nodes {
 		st.sccMembers[nd.SCC] = append(st.sccMembers[nd.SCC], nd.ID)
 	}
@@ -150,10 +190,33 @@ func (st *identifyState) lref(vi int) []int {
 	return st.lrefNodes[vi]
 }
 
-// websFor runs Compute_Webs for a single variable. In eager mode it
-// touches only read-only shared state, so distinct variables can run
-// concurrently.
-func (st *identifyState) websFor(vi int) []*Web {
+// identArena batches the allocations of web construction: Web structs and
+// node bit sets both come from chunked, never-reclaimed slabs, so one
+// variable's construction pays a constant number of allocations instead
+// of several per web. An arena must not be shared across goroutines.
+type identArena struct {
+	bits ir.BitArena
+	webs []Web
+	// grow is growWeb's reusable frontier scratch; free between calls.
+	grow []int
+}
+
+// newWeb returns a fresh web for v with an empty node set sized to the
+// graph.
+func (a *identArena) newWeb(v string, nodes int, fromCycle bool) *Web {
+	if len(a.webs) == 0 {
+		a.webs = make([]Web, 16)
+	}
+	w := &a.webs[0]
+	a.webs = a.webs[1:]
+	*w = Web{Var: v, Nodes: a.bits.New(nodes), Color: -1, FromCycle: fromCycle}
+	return w
+}
+
+// websFor runs Compute_Webs for a single variable, allocating out of ar.
+// In eager mode it touches only read-only shared state, so distinct
+// variables can run concurrently with per-call (or per-worker) arenas.
+func (st *identifyState) websFor(vi int, ar *identArena) []*Web {
 	g, sets := st.g, st.sets
 	lref := st.lref(vi)
 	v := sets.Vars[vi]
@@ -162,7 +225,7 @@ func (st *identifyState) websFor(vi int) []*Web {
 	// one-word probe replaces the per-web membership scan, and a freshly
 	// grown web only pays the pairwise merge scan when it actually
 	// overlaps the union.
-	covered := ir.NewBitSet(len(g.Nodes))
+	covered := ar.bits.New(len(g.Nodes))
 	add := func(w *Web) {
 		if covered.Intersects(w.Nodes) {
 			vwebs = mergeOverlap(vwebs, w)
@@ -172,12 +235,16 @@ func (st *identifyState) websFor(vi int) []*Web {
 		covered.OrWith(w.Nodes)
 	}
 	// Candidate web entry nodes: G ∈ L_REF[P] and G ∉ P_REF[P].
+	// growWeb never retains its seed, so one reused buffer serves every
+	// candidate instead of a fresh one-element slice per candidate.
+	var seedBuf [1]int
 	for _, p := range lref {
 		if sets.PRef[p].Has(vi) || covered.Has(p) {
 			continue
 		}
-		w := &Web{Var: v, Nodes: ir.NewBitSet(len(g.Nodes)), Color: -1}
-		growWeb(g, sets, vi, w, []int{p})
+		w := ar.newWeb(v, len(g.Nodes), false)
+		seedBuf[0] = p
+		growWeb(g, sets, vi, w, seedBuf[:], ar)
 		add(w)
 	}
 	// Recursive call chains: a cycle that references G but whose entry
@@ -189,8 +256,8 @@ func (st *identifyState) websFor(vi int) []*Web {
 		if !nd.Recursive || covered.Has(p) {
 			continue
 		}
-		w := &Web{Var: v, Nodes: ir.NewBitSet(len(g.Nodes)), Color: -1, FromCycle: true}
-		growWeb(g, sets, vi, w, st.sccMembers[nd.SCC])
+		w := ar.newWeb(v, len(g.Nodes), true)
+		growWeb(g, sets, vi, w, st.sccMembers[nd.SCC], ar)
 		add(w)
 	}
 	return vwebs
@@ -214,12 +281,18 @@ func IdentifyJobs(g *callgraph.Graph, sets *refsets.Sets, jobs int) []*Web {
 	st := newIdentifyState(g, sets, false)
 	perVar := make([][]*Web, len(sets.Vars))
 	if pipeline.Workers(jobs) <= 1 || len(sets.Vars) < 2 {
+		var ar identArena
 		for vi := range sets.Vars {
-			perVar[vi] = st.websFor(vi)
+			perVar[vi] = st.websFor(vi, &ar)
 		}
 	} else {
+		// Arenas are not goroutine-safe, so parallel construction pays one
+		// arena per variable; each still batches that variable's webs.
 		perVar, _ = pipeline.Map(jobs, make([]struct{}, len(sets.Vars)),
-			func(vi int, _ struct{}) ([]*Web, error) { return st.websFor(vi), nil })
+			func(vi int, _ struct{}) ([]*Web, error) {
+				var ar identArena
+				return st.websFor(vi, &ar), nil
+			})
 	}
 	var webs []*Web
 	for _, vw := range perVar {
@@ -238,6 +311,7 @@ func IdentifyJobs(g *callgraph.Graph, sets *refsets.Sets, jobs int) []*Web {
 // IdentifyJobs uses, so a rebuilt list is byte-identical to the clean one.
 type Identifier struct {
 	st *identifyState
+	ar identArena
 }
 
 // NewIdentifier prepares per-variable web construction over the graph.
@@ -248,7 +322,7 @@ func NewIdentifier(g *callgraph.Graph, sets *refsets.Sets) *Identifier {
 // WebsFor computes the webs of one variable (by index). IDs and entry
 // lists are left unset; callers assign IDs over the assembled program-wide
 // list and fill entries with ComputeEntries, exactly as IdentifyJobs does.
-func (id *Identifier) WebsFor(vi int) []*Web { return id.st.websFor(vi) }
+func (id *Identifier) WebsFor(vi int) []*Web { return id.st.websFor(vi, &id.ar) }
 
 // ComputeEntries fills w.Entries from the current graph edges.
 func ComputeEntries(g *callgraph.Graph, w *Web) { computeEntries(g, w) }
@@ -257,41 +331,59 @@ func ComputeEntries(g *callgraph.Graph, w *Web) { computeEntries(g, w) }
 // nodes, then repeatedly pull in the external predecessors of any member
 // that has both internal and external predecessors, until every member's
 // predecessors are either all internal or all external.
-func growWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, seed []int) {
+func growWeb(g *callgraph.Graph, sets *refsets.Sets, vi int, w *Web, seed []int, ar *identArena) {
 	temp := seed
-	seen := ir.NewBitSet(len(g.Nodes))
+	seen := ar.bits.New(len(g.Nodes))
+	// The first frontier reuses the arena's scratch buffer; growth loops
+	// beyond one round are rare enough to allocate their own. The buffer
+	// may still back temp when it returns to the arena below — that is
+	// safe because the arena hands it out again only on the next growWeb
+	// call, by which time this call's temp is dead.
+	nextTemp := ar.grow[:0]
+	rounds := 0
 	for {
 		for _, q := range temp {
 			expandWeb(g, sets, vi, w, q)
 		}
 		// S = members with both an internal and an external predecessor.
-		var nextTemp []int
 		for i := range seen {
 			seen[i] = 0
 		}
-		w.Nodes.ForEach(func(z int) {
-			internal, external := false, false
-			for _, e := range g.Nodes[z].In {
-				if w.Nodes.Has(e.From) {
-					internal = true
-				} else {
-					external = true
-				}
-			}
-			if internal && external {
+		for wi, word := range w.Nodes {
+			for word != 0 {
+				z := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				internal, external := false, false
 				for _, e := range g.Nodes[z].In {
-					if !w.Nodes.Has(e.From) && !seen.Has(e.From) {
-						seen.Set(e.From)
-						nextTemp = append(nextTemp, e.From)
+					if w.Nodes.Has(e.From) {
+						internal = true
+					} else {
+						external = true
+					}
+				}
+				if internal && external {
+					for _, e := range g.Nodes[z].In {
+						if !w.Nodes.Has(e.From) && !seen.Has(e.From) {
+							seen.Set(e.From)
+							nextTemp = append(nextTemp, e.From)
+						}
 					}
 				}
 			}
-		})
+		}
 		if len(nextTemp) == 0 {
+			if rounds == 0 {
+				ar.grow = nextTemp[:0]
+			}
 			return
 		}
 		sort.Ints(nextTemp)
 		temp = nextTemp
+		if rounds == 0 {
+			ar.grow = nextTemp[:0]
+		}
+		rounds++
+		nextTemp = nil
 	}
 }
 
@@ -331,24 +423,28 @@ func mergeOverlap(ws []*Web, w *Web) []*Web {
 func sharesNode(a, b *Web) bool { return a.Nodes.Intersects(b.Nodes) }
 
 // computeEntries fills w.Entries: members with no predecessor in the web.
+// The word loop replaces a ForEach closure, which the compiler heap-
+// allocates once per call — one allocation per web, on a path that visits
+// every web of the program.
 func computeEntries(g *callgraph.Graph, w *Web) {
 	w.Entries = w.Entries[:0]
-	w.Nodes.ForEach(func(id int) {
-		internal := false
-		for _, e := range g.Nodes[id].In {
-			if w.Nodes.Has(e.From) && e.From != id {
-				internal = true
-				break
+	for wi, word := range w.Nodes {
+		for word != 0 {
+			id := wi*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			internal := false
+			for _, e := range g.Nodes[id].In {
+				// Self-recursive members cannot be entries either.
+				if e.From == id || w.Nodes.Has(e.From) {
+					internal = true
+					break
+				}
 			}
-			if e.From == id {
-				internal = true // self-recursive members cannot be entries
-				break
+			if !internal {
+				w.Entries = append(w.Entries, id)
 			}
 		}
-		if !internal {
-			w.Entries = append(w.Entries, id)
-		}
-	})
+	}
 }
 
 // Validate checks the structural invariants §4.1.2 requires for

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder("test", 3)
+	e.U(0)
+	e.U(1 << 40)
+	e.I(-12345)
+	e.I(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.Byte(0xfe)
+	e.F64(3.5)
+	e.Str("hello")
+	e.Str("world")
+	e.Str("hello") // deduplicated
+	e.Bytes([]byte{1, 2, 3})
+	e.Bytes(nil)
+	e.Words([]uint64{0xdeadbeef, 0, ^uint64(0)})
+	e.Strs([]string{"a", "hello", "a"})
+	e.Ints([]int{9, 0, 1 << 20})
+	data := e.Finish()
+
+	d, err := NewDecoder(data, "test", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U(); v != 0 {
+		t.Errorf("U() = %d, want 0", v)
+	}
+	if v := d.U(); v != 1<<40 {
+		t.Errorf("U() = %d, want 1<<40", v)
+	}
+	if v := d.I(); v != -12345 {
+		t.Errorf("I() = %d, want -12345", v)
+	}
+	if v := d.I(); v != 7 {
+		t.Errorf("I() = %d, want 7", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool() order wrong")
+	}
+	if v := d.Byte(); v != 0xfe {
+		t.Errorf("Byte() = %x, want fe", v)
+	}
+	if v := d.F64(); v != 3.5 {
+		t.Errorf("F64() = %v, want 3.5", v)
+	}
+	if a, b := d.Str(), d.Str(); a != "hello" || b != "world" {
+		t.Errorf("Str() = %q, %q", a, b)
+	}
+	if v := d.Str(); v != "hello" {
+		t.Errorf("Str() = %q, want hello", v)
+	}
+	if v := d.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Errorf("Bytes() = %v", v)
+	}
+	if v := d.Bytes(); v != nil {
+		t.Errorf("Bytes() = %v, want nil", v)
+	}
+	ws := d.Words()
+	if len(ws) != 3 || ws[0] != 0xdeadbeef || ws[1] != 0 || ws[2] != ^uint64(0) {
+		t.Errorf("Words() = %v", ws)
+	}
+	ss := d.Strs()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "hello" || ss[2] != "a" {
+		t.Errorf("Strs() = %v", ss)
+	}
+	is := d.Ints()
+	if len(is) != 3 || is[0] != 9 || is[1] != 0 || is[2] != 1<<20 {
+		t.Errorf("Ints() = %v", is)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	build := func() []byte {
+		e := NewEncoder("det", 1)
+		for _, s := range []string{"x", "y", "x", "z"} {
+			e.Str(s)
+		}
+		e.U(42)
+		return e.Finish()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical values encoded to different bytes")
+	}
+}
+
+func TestHeaderMismatch(t *testing.T) {
+	data := NewEncoder("alpha", 2).Finish()
+	if _, err := NewDecoder(data, "beta", 2); err == nil {
+		t.Error("kind mismatch not detected")
+	}
+	if _, err := NewDecoder(data, "alpha", 3); err == nil {
+		t.Error("version mismatch not detected")
+	}
+	if _, err := NewDecoder([]byte("not a wire file at all"), "alpha", 2); err == nil {
+		t.Error("bad magic not detected")
+	}
+	if _, err := NewDecoder(nil, "alpha", 2); err == nil {
+		t.Error("empty input not detected")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	e := NewEncoder("trunc", 1)
+	e.Str("some string payload")
+	e.Words([]uint64{1, 2, 3, 4})
+	e.Ints([]int{5, 6, 7})
+	data := e.Finish()
+
+	for cut := 0; cut < len(data); cut++ {
+		d, err := NewDecoder(data[:cut], "trunc", 1)
+		if err != nil {
+			continue // header-level rejection is fine
+		}
+		d.Str()
+		d.Words()
+		d.Ints()
+		if d.Finish() == nil && cut < len(data) {
+			t.Errorf("truncation at %d/%d not detected", cut, len(data))
+		}
+	}
+}
+
+func TestOversizedCountFails(t *testing.T) {
+	// A body claiming 2^40 words must fail the bounds check, not allocate.
+	e := NewEncoder("big", 1)
+	e.U(1 << 40)
+	data := e.Finish()
+	d, err := NewDecoder(data, "big", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Errorf("Count accepted oversized length: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestUnknownSectionSkipped(t *testing.T) {
+	e := NewEncoder("skip", 1)
+	e.U(99)
+	data := e.Finish()
+	// Append a trailing unknown section id=9 with 3 payload bytes.
+	data = append(data, 9, 3, 0xaa, 0xbb, 0xcc)
+	d, err := NewDecoder(data, "skip", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U(); v != 99 {
+		t.Errorf("U() = %d, want 99", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailingBodyBytesDetected(t *testing.T) {
+	e := NewEncoder("trail", 1)
+	e.U(1)
+	e.U(2)
+	data := e.Finish()
+	d, err := NewDecoder(data, "trail", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.U() // consume only one of two values
+	if err := d.Finish(); err == nil {
+		t.Error("unconsumed body bytes not detected")
+	}
+}
+
+// FuzzWireDecode drives the framing layer with arbitrary bytes: every
+// outcome must be a clean error or a clean decode, never a panic.
+func FuzzWireDecode(f *testing.F) {
+	e := NewEncoder("fuzz", 1)
+	e.Str("seed")
+	e.Words([]uint64{1, 2, 3})
+	e.Ints([]int{4, 5})
+	e.Bytes([]byte("payload"))
+	e.F64(1.25)
+	f.Add(e.Finish())
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(data, "fuzz", 1)
+		if err != nil {
+			return
+		}
+		d.Str()
+		d.Words()
+		d.Ints()
+		d.Bytes()
+		d.F64()
+		d.U()
+		d.I()
+		d.Bool()
+		d.Strs()
+		_ = d.Finish()
+	})
+}

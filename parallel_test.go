@@ -3,7 +3,6 @@ package ipra
 import (
 	"bytes"
 	"context"
-	"encoding/gob"
 	"reflect"
 	"testing"
 
@@ -12,20 +11,12 @@ import (
 	"ipra/internal/pipeline"
 )
 
-// exeBytes canonically serializes the deterministic parts of an
-// executable (everything except the name→index maps, whose gob encoding
-// order is randomized by Go's map iteration).
+// exeBytes canonically serializes an executable for comparison, using the
+// wire encoding (deterministic by construction, maps included).
 func exeBytes(t testing.TB, exe *parv.Executable) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	view := struct {
-		Code     []parv.Instr
-		Funcs    []parv.FuncInfo
-		Data     []byte
-		DataSize int32
-		Entry    int
-	}{exe.Code, exe.Funcs, exe.Data, exe.DataSize, exe.Entry}
-	if err := gob.NewEncoder(&buf).Encode(&view); err != nil {
+	if err := parv.EncodeExecutable(&buf, exe); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
