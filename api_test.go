@@ -8,8 +8,8 @@ import (
 	"testing"
 )
 
-// TestPresetRegistry pins the Presets registry against the named
-// constructors: same names, same order, same configurations.
+// TestPresetRegistry pins the Presets registry: names in Table 4 order,
+// analyzer wiring per column, and the default strategy on every preset.
 func TestPresetRegistry(t *testing.T) {
 	wantNames := []string{"L2", "A", "B", "C", "D", "E", "F"}
 	if got := PresetNames(); !reflect.DeepEqual(got, wantNames) {
@@ -20,18 +20,26 @@ func TestPresetRegistry(t *testing.T) {
 	if len(presets) != len(wantNames) {
 		t.Errorf("Presets() has %d entries, want %d", len(presets), len(wantNames))
 	}
-	constructors := map[string]func() Config{
-		"L2": Level2, "A": ConfigA, "B": ConfigB, "C": ConfigC,
-		"D": ConfigD, "E": ConfigE, "F": ConfigF,
-	}
-	for name, build := range constructors {
+	for _, name := range wantNames {
 		reg, ok := presets[name]
 		if !ok {
 			t.Errorf("Presets() is missing %q", name)
 			continue
 		}
-		if want := build(); !reflect.DeepEqual(reg, want) {
-			t.Errorf("Presets()[%q] differs from %s()", name, name)
+		if reg.Name != name {
+			t.Errorf("Presets()[%q].Name = %q", name, reg.Name)
+		}
+		if reg.UseAnalyzer != (name != "L2") {
+			t.Errorf("Presets()[%q].UseAnalyzer = %t", name, reg.UseAnalyzer)
+		}
+		if reg.WantProfile != (name == "B" || name == "F") {
+			t.Errorf("Presets()[%q].WantProfile = %t", name, reg.WantProfile)
+		}
+		if reg.Strategy != DefaultStrategy {
+			t.Errorf("Presets()[%q].Strategy = %q, want %q", name, reg.Strategy, DefaultStrategy)
+		}
+		if !reflect.DeepEqual(reg, MustPreset(name)) {
+			t.Errorf("Presets()[%q] differs from MustPreset(%q)", name, name)
 		}
 	}
 
@@ -71,53 +79,83 @@ func TestPresetByName(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchBuild keeps the old entry points covered:
-// each must produce byte-identical output to the Build call it wraps.
-func TestDeprecatedWrappersMatchBuild(t *testing.T) {
+func TestMustPreset(t *testing.T) {
+	if got := MustPreset("c").Name; got != "C" {
+		t.Errorf("MustPreset(\"c\").Name = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPreset(\"Z\") should panic")
+		}
+	}()
+	MustPreset("Z")
+}
+
+// TestStrategyAPI covers the strategy surface of the public package: the
+// registered names, resolution, and WithStrategy derivation.
+func TestStrategyAPI(t *testing.T) {
+	names := StrategyNames()
+	if len(names) != 4 || names[0] != DefaultStrategy {
+		t.Fatalf("StrategyNames() = %v, want default-first 4 strategies", names)
+	}
+	for _, name := range names {
+		canon, err := ResolveStrategy(strings.ToUpper(name))
+		if err != nil || canon != name {
+			t.Errorf("ResolveStrategy(%q) = %q, %v", strings.ToUpper(name), canon, err)
+		}
+	}
+	if canon, err := ResolveStrategy(""); err != nil || canon != DefaultStrategy {
+		t.Errorf("ResolveStrategy(\"\") = %q, %v", canon, err)
+	}
+	if _, err := ResolveStrategy("nope"); err == nil {
+		t.Error("ResolveStrategy(\"nope\") should fail")
+	}
+
+	cfg := MustPreset("C").WithStrategy("tiling")
+	if cfg.Strategy != "tiling" || cfg.Name != "C" {
+		t.Errorf("WithStrategy derivation = %+v", cfg)
+	}
+	if MustPreset("C").Strategy != DefaultStrategy {
+		t.Error("WithStrategy mutated the registry copy")
+	}
+
+	// An unknown strategy surfaces as a Build error, not a panic.
+	if _, err := Build(context.Background(), tracedProgram(), MustPreset("C").WithStrategy("nope")); err == nil {
+		t.Error("Build with unknown strategy should fail")
+	}
+}
+
+// TestBuildEntryPoints exercises the Build options that replaced the
+// retired v1 wrappers (Compile, CompileProfiled, CompileIncremental):
+// plain, profiled, and incremental builds must agree byte-for-byte.
+func TestBuildEntryPoints(t *testing.T) {
 	sources := tracedProgram()
-	cfg := ConfigC()
+	cfg := MustPreset("C")
 
-	viaBuild, err := Build(context.Background(), sources, cfg)
+	plain, err := Build(context.Background(), sources, cfg)
 	if err != nil {
 		t.Fatal(err)
-	}
-	viaCompile, err := Compile(sources, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(exeBytes(t, viaBuild.Exe), exeBytes(t, viaCompile.Exe)) {
-		t.Error("Compile output differs from Build output")
 	}
 
-	pcfg := ConfigF()
-	profBuild, err := Build(context.Background(), sources, pcfg, WithProfile(10_000_000))
+	pcfg := MustPreset("F")
+	prof, err := Build(context.Background(), sources, pcfg, WithProfile(10_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	profCompile, train, err := CompileProfiled(sources, pcfg, 10_000_000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if train == nil {
-		t.Error("CompileProfiled returned no training run")
-	}
-	if !bytes.Equal(exeBytes(t, profBuild.Exe), exeBytes(t, profCompile.Exe)) {
-		t.Error("CompileProfiled output differs from Build+WithProfile output")
+	if prof.Train == nil {
+		t.Error("profiled Build recorded no training run")
 	}
 
 	dir := t.TempDir()
-	incr, out, err := CompileIncremental(sources, cfg, IncrementalOptions{BuildDir: dir})
+	incr, err := Build(context.Background(), sources, cfg, WithBuildDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out == nil {
-		t.Error("CompileIncremental returned no outcome")
+	if incr.Incremental == nil {
+		t.Error("incremental Build recorded no outcome")
 	}
-	if !bytes.Equal(exeBytes(t, viaBuild.Exe), exeBytes(t, incr.Exe)) {
-		t.Error("CompileIncremental output differs from Build output")
-	}
-	if _, _, err := CompileIncremental(sources, cfg, IncrementalOptions{}); err == nil {
-		t.Error("CompileIncremental with an empty build dir should fail")
+	if !bytes.Equal(exeBytes(t, plain.Exe), exeBytes(t, incr.Exe)) {
+		t.Error("incremental Build output differs from in-memory Build output")
 	}
 }
 
@@ -126,7 +164,7 @@ func TestDeprecatedWrappersMatchBuild(t *testing.T) {
 // everything, and the outcome is recorded on the result.
 func TestBuildWithBuildDir(t *testing.T) {
 	sources := tracedProgram()
-	cfg := ConfigC()
+	cfg := MustPreset("C")
 	dir := t.TempDir()
 
 	clean, err := Build(context.Background(), sources, cfg, WithBuildDir(dir))
@@ -157,7 +195,7 @@ func TestBuildWithBuildDir(t *testing.T) {
 // option.
 func TestBuildWithStderr(t *testing.T) {
 	var buf bytes.Buffer
-	_, err := Build(context.Background(), tracedProgram(), ConfigC(),
+	_, err := Build(context.Background(), tracedProgram(), MustPreset("C"),
 		WithBuildDir(t.TempDir()), WithStderr(&buf))
 	if err != nil {
 		t.Fatal(err)

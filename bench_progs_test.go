@@ -28,7 +28,7 @@ func TestBenchmarkProgramsRun(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			sources := benchSources(t, b)
 
-			base, err := Build(context.Background(), sources, Level2())
+			base, err := Build(context.Background(), sources, MustPreset("L2"))
 			if err != nil {
 				t.Fatalf("compile L2: %v", err)
 			}

@@ -39,7 +39,7 @@ func sourcesOf(b *testing.B, bm benchprogs.Benchmark) []ipra.Source {
 func measureCell(b *testing.B, bm benchprogs.Benchmark, cfg ipra.Config) (cycleImp, singletonRed float64) {
 	b.Helper()
 	sources := sourcesOf(b, bm)
-	base, err := ipra.Build(context.Background(), sources, ipra.Level2())
+	base, err := ipra.Build(context.Background(), sources, ipra.MustPreset("L2"))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func BenchmarkWebCensus(b *testing.B) {
 	}
 	var stats core.Stats
 	for i := 0; i < b.N; i++ {
-		p, err := ipra.Build(context.Background(), sources, ipra.ConfigC())
+		p, err := ipra.Build(context.Background(), sources, ipra.MustPreset("C"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func BenchmarkExtensions(b *testing.B) {
 	for _, bm := range benchprogs.All() {
 		for _, v := range variants {
 			b.Run(bm.Name+"/"+v.name, func(b *testing.B) {
-				cfg := ipra.ConfigC()
+				cfg := ipra.MustPreset("C")
 				cfg.Analyzer.MergeWebs = v.merge
 				cfg.Analyzer.CallerSavesPreallocation = v.cs
 				var imp float64
@@ -169,7 +169,7 @@ func BenchmarkCompile(b *testing.B) {
 	sources := sourcesOf(b, bm)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := ipra.Build(context.Background(), sources, ipra.ConfigC()); err != nil {
+		if _, err := ipra.Build(context.Background(), sources, ipra.MustPreset("C")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,7 +191,7 @@ func suiteSources(b *testing.B) [][]ipra.Source {
 // real compilation work.
 func benchCompileSuite(b *testing.B, suiteJobs, moduleJobs int) {
 	suite := suiteSources(b)
-	cfg := ipra.ConfigC()
+	cfg := ipra.MustPreset("C")
 	cfg.Jobs = moduleJobs
 	cfg.DisableCache = true
 	b.ReportAllocs()
@@ -224,7 +224,7 @@ func BenchmarkCompileParallel(b *testing.B) { benchCompileSuite(b, 0, 0) }
 func BenchmarkCompileCached(b *testing.B) {
 	suite := suiteSources(b)
 	ipra.ResetPhase1Cache()
-	cfg := ipra.ConfigC()
+	cfg := ipra.MustPreset("C")
 	for _, sources := range suite {
 		if _, err := ipra.Build(context.Background(), sources, cfg); err != nil {
 			b.Fatal(err)
@@ -248,7 +248,7 @@ func BenchmarkAnalyzer(b *testing.B) {
 	for _, m := range mods {
 		sources = append(sources, ipra.Source{Name: m.Name, Text: []byte(m.Text)})
 	}
-	p, err := ipra.Build(context.Background(), sources, ipra.Level2())
+	p, err := ipra.Build(context.Background(), sources, ipra.MustPreset("L2"))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func BenchmarkVM(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := ipra.Build(context.Background(), sourcesOf(b, bm), ipra.ConfigC())
+	p, err := ipra.Build(context.Background(), sourcesOf(b, bm), ipra.MustPreset("C"))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -36,7 +36,7 @@ int main() {
 `
 
 func withCallerSaves() Config {
-	c := ConfigA()
+	c := MustPreset("A")
 	c.Name = "A+callersaves"
 	c.Analyzer.CallerSavesPreallocation = true
 	return c
@@ -45,7 +45,7 @@ func withCallerSaves() Config {
 // bareCallerSaves isolates the extension: no spill motion, no promotion —
 // only the per-callee clobber sets differ from the baseline.
 func bareCallerSaves(on bool) Config {
-	c := ConfigA()
+	c := MustPreset("A")
 	c.Analyzer.SpillMotion = false
 	c.Analyzer.CallerSavesPreallocation = on
 	if on {
@@ -115,7 +115,7 @@ int main() { return rec(5); }
 func TestCallerSavesDifferential(t *testing.T) {
 	for _, seed := range []int64{21, 22, 23, 24} {
 		sources := genSources(seed)
-		base, err := Build(context.Background(), sources, Level2())
+		base, err := Build(context.Background(), sources, MustPreset("L2"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,8 +123,8 @@ func TestCallerSavesDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, mk := range []func() Config{ConfigA, ConfigC, ConfigD, ConfigE} {
-			cfg := mk()
+		for _, name := range []string{"A", "C", "D", "E"} {
+			cfg := MustPreset(name)
 			cfg.Analyzer.CallerSavesPreallocation = true
 			cfg.Name += "+cs"
 			p, err := Build(context.Background(), sources, cfg)

@@ -21,7 +21,7 @@ int main() {
 	int y = 4;
 	return add(x * 2, y * 6);
 }
-`)}, Level2())
+`)}, MustPreset("L2"))
 	if err != nil {
 		t.Fatal(err)
 	}

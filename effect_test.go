@@ -34,8 +34,8 @@ int main() {
 // promotion (config C) eliminates a large share of the singleton memory
 // references that remain after level-2 optimization.
 func TestPromotionReducesSingletonRefs(t *testing.T) {
-	l2 := compileAndRun(t, Level2(), src("main.mc", hotGlobals))
-	c := compileAndRun(t, ConfigC(), src("main.mc", hotGlobals))
+	l2 := compileAndRun(t, MustPreset("L2"), src("main.mc", hotGlobals))
+	c := compileAndRun(t, MustPreset("C"), src("main.mc", hotGlobals))
 
 	if c.Exit != l2.Exit {
 		t.Fatalf("behaviour differs: C exit %d, L2 exit %d", c.Exit, l2.Exit)
@@ -89,8 +89,8 @@ int main() {
 	return sink & 255;
 }
 `
-	l2 := compileAndRun(t, Level2(), src("main.mc", prog))
-	a := compileAndRun(t, ConfigA(), src("main.mc", prog))
+	l2 := compileAndRun(t, MustPreset("L2"), src("main.mc", prog))
+	a := compileAndRun(t, MustPreset("A"), src("main.mc", prog))
 	if a.Exit != l2.Exit {
 		t.Fatalf("behaviour differs: A exit %d, L2 exit %d", a.Exit, l2.Exit)
 	}

@@ -52,7 +52,7 @@ int main() {
 func main() {
 	sources := []ipra.Source{{Name: "main.mc", Text: []byte(program)}}
 
-	base, err := ipra.Build(context.Background(), sources, ipra.Level2())
+	base, err := ipra.Build(context.Background(), sources, ipra.MustPreset("L2"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func main() {
 	}
 
 	// Configuration A: spill code motion only, no promotion.
-	moved, err := ipra.Build(context.Background(), sources, ipra.ConfigA())
+	moved, err := ipra.Build(context.Background(), sources, ipra.MustPreset("A"))
 	if err != nil {
 		log.Fatal(err)
 	}

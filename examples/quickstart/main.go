@@ -63,7 +63,7 @@ func main() {
 	}
 
 	// Baseline: level-2 (intraprocedural) optimization only.
-	baseline, err := ipra.Build(context.Background(), sources, ipra.Level2())
+	baseline, err := ipra.Build(context.Background(), sources, ipra.MustPreset("L2"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func main() {
 
 	// Interprocedural: spill code motion + 6-register web coloring
 	// (the paper's configuration C).
-	ipr, err := ipra.Build(context.Background(), sources, ipra.ConfigC())
+	ipr, err := ipra.Build(context.Background(), sources, ipra.MustPreset("C"))
 	if err != nil {
 		log.Fatal(err)
 	}

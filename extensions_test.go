@@ -45,7 +45,7 @@ int main() {
 // assumptions, exported globals are not promoted (external code may touch
 // them) while statics still are, and the compiled code stays correct.
 func TestPartialCallGraphConservative(t *testing.T) {
-	full := ConfigC()
+	full := MustPreset("C")
 	fullProg, err := Build(context.Background(), libSources(), full)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +55,7 @@ func TestPartialCallGraphConservative(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	partial := ConfigC()
+	partial := MustPreset("C")
 	partial.Analyzer.PartialProgram = true
 	partialProg, err := Build(context.Background(), libSources(), partial)
 	if err != nil {
@@ -140,7 +140,7 @@ int main() {
 }
 `)}}
 
-	plain := ConfigC()
+	plain := MustPreset("C")
 	p1, err := Build(context.Background(), sources, plain)
 	if err != nil {
 		t.Fatal(err)
@@ -150,7 +150,7 @@ int main() {
 		t.Fatal(err)
 	}
 
-	merged := ConfigC()
+	merged := MustPreset("C")
 	merged.Analyzer.MergeWebs = true
 	p2, err := Build(context.Background(), sources, merged)
 	if err != nil {
@@ -198,7 +198,7 @@ int main() {
 // with MergeWebs enabled.
 func TestMergeKeepsDifferentialCorrectness(t *testing.T) {
 	runDifferentialWithConfig(t, func() Config {
-		c := ConfigC()
+		c := MustPreset("C")
 		c.Analyzer.MergeWebs = true
 		c.Name = "C+merge"
 		return c
@@ -209,7 +209,7 @@ func TestMergeKeepsDifferentialCorrectness(t *testing.T) {
 // conservative mode enabled.
 func TestPartialKeepsDifferentialCorrectness(t *testing.T) {
 	runDifferentialWithConfig(t, func() Config {
-		c := ConfigC()
+		c := MustPreset("C")
 		c.Analyzer.PartialProgram = true
 		c.Name = "C+partial"
 		return c
@@ -220,7 +220,7 @@ func runDifferentialWithConfig(t *testing.T, cfg Config) {
 	t.Helper()
 	for _, seed := range []int64{11, 12, 13} {
 		sources := genSources(seed)
-		base, err := Build(context.Background(), sources, Level2())
+		base, err := Build(context.Background(), sources, MustPreset("L2"))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -40,7 +40,7 @@ func TestDifferentialGeneratedPrograms(t *testing.T) {
 				sources = append(sources, Source{Name: m.Name, Text: []byte(m.Text)})
 			}
 
-			base, err := Build(context.Background(), sources, Level2())
+			base, err := Build(context.Background(), sources, MustPreset("L2"))
 			if err != nil {
 				t.Fatalf("L2 compile: %v", err)
 			}

@@ -2,6 +2,7 @@ package ipra
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -86,28 +87,24 @@ const incrTestMaxInstrs = 20_000_000
 // guided two-pass flow for configurations B and F.
 func compileBoth(t *testing.T, sources []Source, cfg Config, buildDir string, explain *bytes.Buffer) (clean, incr *Program, out *incremental.Outcome) {
 	t.Helper()
-	var err error
-	opts := IncrementalOptions{BuildDir: buildDir}
-	if explain != nil {
-		opts.Explain = explain
-	}
+	ctx := context.Background()
+	var common []BuildOption
 	if cfg.WantProfile {
-		clean, _, err = CompileProfiled(sources, cfg, incrTestMaxInstrs)
-		if err != nil {
-			t.Fatalf("%s clean: %v", cfg.Name, err)
-		}
-		incr, _, out, err = CompileProfiledIncremental(sources, cfg, incrTestMaxInstrs, opts)
-	} else {
-		clean, err = Compile(sources, cfg)
-		if err != nil {
-			t.Fatalf("%s clean: %v", cfg.Name, err)
-		}
-		incr, out, err = CompileIncremental(sources, cfg, opts)
+		common = append(common, WithProfile(incrTestMaxInstrs))
 	}
+	cleanRes, err := Build(ctx, sources, cfg, common...)
+	if err != nil {
+		t.Fatalf("%s clean: %v", cfg.Name, err)
+	}
+	iopts := append([]BuildOption{WithBuildDir(buildDir)}, common...)
+	if explain != nil {
+		iopts = append(iopts, WithStderr(explain))
+	}
+	incrRes, err := Build(ctx, sources, cfg, iopts...)
 	if err != nil {
 		t.Fatalf("%s incremental: %v", cfg.Name, err)
 	}
-	return clean, incr, out
+	return cleanRes.Program, incrRes.Program, incrRes.Incremental
 }
 
 // assertIdentical checks the load-bearing invariant: executable bytes and
@@ -226,22 +223,23 @@ func TestIncrementalConfigSwitchSharesPhase1(t *testing.T) {
 	ResetPhase1Cache()
 	dir := t.TempDir()
 	sources := incrementalTestSources()
-	if _, _, err := CompileIncremental(sources, Level2(), IncrementalOptions{BuildDir: dir}); err != nil {
+	ctx := context.Background()
+	if _, err := Build(ctx, sources, MustPreset("L2"), WithBuildDir(dir)); err != nil {
 		t.Fatal(err)
 	}
-	clean, err := Compile(sources, ConfigC())
+	clean, err := Build(ctx, sources, MustPreset("C"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	incr, out, err := CompileIncremental(sources, ConfigC(), IncrementalOptions{BuildDir: dir})
+	incr, err := Build(ctx, sources, MustPreset("C"), WithBuildDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Phase1Rebuilds != 0 {
-		t.Errorf("config switch re-ran phase 1 (%d modules)", out.Phase1Rebuilds)
+	if incr.Incremental.Phase1Rebuilds != 0 {
+		t.Errorf("config switch re-ran phase 1 (%d modules)", incr.Incremental.Phase1Rebuilds)
 	}
 	if !bytes.Equal(canonicalExe(t, clean.Exe), canonicalExe(t, incr.Exe)) {
-		t.Error("config-switch incremental build differs from clean ConfigC build")
+		t.Error("config-switch incremental build differs from clean config C build")
 	}
 }
 
@@ -252,17 +250,18 @@ func TestIncrementalStateDirIsolation(t *testing.T) {
 	ResetPhase1Cache()
 	dir := t.TempDir()
 	sources := incrementalTestSources()
-	if _, _, err := CompileIncremental(sources, Level2(), IncrementalOptions{BuildDir: dir}); err != nil {
+	ctx := context.Background()
+	if _, err := Build(ctx, sources, MustPreset("L2"), WithBuildDir(dir)); err != nil {
 		t.Fatal(err)
 	}
 	other := []Source{
 		{Name: "solo.mc", Text: []byte("int main() { return 7; }")},
 	}
-	p, out, err := CompileIncremental(other, Level2(), IncrementalOptions{BuildDir: dir})
+	p, err := Build(ctx, other, MustPreset("L2"), WithBuildDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Phase1Rebuilds != 1 || out.Phase2Rebuilds != 1 {
+	if out := p.Incremental; out.Phase1Rebuilds != 1 || out.Phase2Rebuilds != 1 {
 		t.Errorf("rebuilds = %d/%d, want 1/1", out.Phase1Rebuilds, out.Phase2Rebuilds)
 	}
 	res, err := p.Run(1000, false)
@@ -287,13 +286,14 @@ func TestIncrementalBenchmarkSuite(t *testing.T) {
 	}
 	sources := benchSources(t, bm)
 	dir := t.TempDir()
-	cfg := ConfigC()
+	cfg := MustPreset("C")
+	ctx := context.Background()
 
-	clean, err := Compile(sources, cfg)
+	clean, err := Build(ctx, sources, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	incr, _, err := CompileIncremental(sources, cfg, IncrementalOptions{BuildDir: dir})
+	incr, err := Build(ctx, sources, cfg, WithBuildDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,11 +304,11 @@ func TestIncrementalBenchmarkSuite(t *testing.T) {
 	touched := append([]Source(nil), sources...)
 	touched[1] = Source{Name: touched[1].Name, Text: append([]byte(nil), touched[1].Text...)}
 	touched[1].Text = append(touched[1].Text, '\n')
-	incr2, out, err := CompileIncremental(touched, cfg, IncrementalOptions{BuildDir: dir})
+	incr2, err := Build(ctx, touched, cfg, WithBuildDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Phase1Rebuilds != 1 || out.Phase2Rebuilds != 1 {
+	if out := incr2.Incremental; out.Phase1Rebuilds != 1 || out.Phase2Rebuilds != 1 {
 		t.Errorf("touch rebuild: %d/%d, want 1/1", out.Phase1Rebuilds, out.Phase2Rebuilds)
 	}
 	if !bytes.Equal(canonicalExe(t, clean.Exe), canonicalExe(t, incr2.Exe)) {

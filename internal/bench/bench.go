@@ -80,7 +80,7 @@ func RunBenchmark(ctx context.Context, b benchprogs.Benchmark, jobs int) (*Row, 
 
 	row := &Row{Benchmark: b.Name, Description: b.Description}
 
-	base, err := measure(ctx, sources, withJobs(ipra.Level2(), jobs), b.MaxInstrs)
+	base, err := measure(ctx, sources, withJobs(ipra.MustPreset("L2"), jobs), b.MaxInstrs)
 	if err != nil {
 		return nil, fmt.Errorf("%s/L2: %w", b.Name, err)
 	}

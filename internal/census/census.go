@@ -45,7 +45,7 @@ func Run(ctx context.Context, cfg progen.Config) (*Result, error) {
 	}
 
 	// Behavioural check under the two extremes.
-	l2, err := ipra.Build(ctx, sources, ipra.Level2())
+	l2, err := ipra.Build(ctx, sources, ipra.MustPreset("L2"))
 	if err != nil {
 		return nil, fmt.Errorf("census: L2 compile: %w", err)
 	}
@@ -53,7 +53,7 @@ func Run(ctx context.Context, cfg progen.Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("census: L2 run: %w", err)
 	}
-	pc, err := ipra.Build(ctx, sources, ipra.ConfigC())
+	pc, err := ipra.Build(ctx, sources, ipra.MustPreset("C"))
 	if err != nil {
 		return nil, fmt.Errorf("census: C compile: %w", err)
 	}

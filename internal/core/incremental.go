@@ -363,7 +363,10 @@ func AnalyzeIncremental(ctx context.Context, summaries []*summary.ModuleSummary,
 		}
 	}
 
-	a := newAnalysis(opt)
+	a, err := newAnalysis(opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	a.res.Graph = g
 	a.res.Sets = sets
 	a.eligible = eligible
@@ -436,7 +439,9 @@ func AnalyzeIncremental(ctx context.Context, summaries []*summary.ModuleSummary,
 	webSpan.SetInt("reused", int64(rs.WebsReused))
 	webSpan.End()
 
-	a.stageColoring(ctx)
+	if err := a.stageColoring(ctx); err != nil {
+		return nil, nil, nil, err
+	}
 
 	// Clusters depend only on call counts and per-node register needs.
 	needsChanged := false
@@ -447,7 +452,7 @@ func AnalyzeIncremental(ctx context.Context, summaries []*summary.ModuleSummary,
 			break
 		}
 	}
-	if opt.SpillMotion {
+	if a.spillMotion() {
 		if rs.CountsRecomputed || needsChanged || prev.clusters == nil {
 			a.stageClusters(ctx)
 			prev.clusters = a.res.Clusters

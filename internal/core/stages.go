@@ -25,7 +25,10 @@ import (
 // byte-identical to a clean run by construction.
 type analysis struct {
 	opt Options
-	res *Result
+	// strategy is the resolved allocation strategy the coloring stage
+	// delegates to.
+	strategy Strategy
+	res      *Result
 
 	// eligible is the promotion-eligible global universe (sorted).
 	eligible []string
@@ -36,18 +39,35 @@ type analysis struct {
 	promotedAt []regs.Set
 	// asn carries the cluster register usage sets.
 	asn *clusters.Assignment
+	// noSpillMotion is the strategy's veto: set by stageColoring when the
+	// assignment disables the cluster stages (spill-everywhere).
+	noSpillMotion bool
 }
 
-// newAnalysis normalizes the options and allocates the result shell.
-func newAnalysis(opt Options) *analysis {
+// newAnalysis normalizes the options, resolves the allocation strategy,
+// and allocates the result shell.
+func newAnalysis(opt Options) (*analysis, error) {
 	if opt.Filter == (webs.FilterOptions{}) {
 		opt.Filter = webs.DefaultFilter()
 	}
 	if opt.Cluster.RootBias == 0 {
 		opt.Cluster = clusters.DefaultOptions()
 	}
-	return &analysis{opt: opt, res: &Result{DB: pdb.New()}}
+	strat, err := StrategyByName(opt.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis{
+		opt:      opt,
+		strategy: strat,
+		res:      &Result{DB: pdb.New(), Strategy: strat.Name()},
+	}, nil
 }
+
+// spillMotion reports whether the cluster stages should run: the option
+// must be on and the strategy must not have vetoed it. Only valid after
+// stageColoring.
+func (a *analysis) spillMotion() bool { return a.opt.SpillMotion && !a.noSpillMotion }
 
 // webReg maps a web color to its machine register: webs take registers
 // from the top of the callee-saves set (the cluster preallocation fills
@@ -131,73 +151,23 @@ func (a *analysis) finishWebs() {
 	}
 }
 
-// stageColoring selects the promoted webs per the configured strategy and
-// reserves their registers per node.
-func (a *analysis) stageColoring(ctx context.Context) {
+// stageColoring delegates web promotion to the configured strategy and
+// reserves the chosen registers per node.
+func (a *analysis) stageColoring(ctx context.Context) error {
 	_, span := telemetry.StartSpan(ctx, "coloring")
 	defer span.End()
 	span.SetStr("mode", a.opt.Promotion.String())
-	g, allWebs := a.res.Graph, a.res.Webs
-	a.active = a.active[:0]
-	switch a.opt.Promotion {
-	case PromoteColoring:
-		k := a.opt.ColoringRegs
-		if k <= 0 {
-			k = 6
-		}
-		if k > 16 {
-			k = 16
-		}
-		a.res.Stats.WebsColored = webs.Color(allWebs, k)
-		for _, w := range allWebs {
-			if !w.Discarded && w.Color >= 0 {
-				a.active = append(a.active, w)
-			}
-		}
-	case PromoteGreedy:
-		need := func(n int) int {
-			nd := g.Nodes[n]
-			if nd.Rec == nil {
-				return 0
-			}
-			return nd.Rec.CalleeSavesBase
-		}
-		a.res.Stats.WebsColored = webs.GreedyColor(allWebs, g, need, 16)
-		for _, w := range allWebs {
-			if !w.Discarded && w.Color >= 0 {
-				a.active = append(a.active, w)
-			}
-		}
-	case PromoteBlanket:
-		n := a.opt.BlanketCount
-		if n <= 0 {
-			n = 6
-		}
-		a.res.Blankets = webs.BlanketSelect(g, a.res.Sets, allWebs, n)
-		// A blanket web's loads are inserted at its entry procedures. An
-		// entry without a summary record is code we never compile — the
-		// unknown callers of a partial program (§7.2) — so nothing would
-		// load the global and every member reached from it would read a
-		// stale register. Such webs cannot be realized; drop them.
-		kept := a.res.Blankets[:0]
-		for _, w := range a.res.Blankets {
-			realizable := true
-			for _, e := range w.Entries {
-				if g.Nodes[e].Rec == nil {
-					realizable = false
-					break
-				}
-			}
-			if realizable {
-				kept = append(kept, w)
-			}
-		}
-		a.res.Blankets = kept
-		a.active = append(a.active, kept...)
-		a.res.Stats.WebsColored = len(a.active)
-	default:
-		a.res.Stats.WebsColored = 0
+	span.SetStr("strategy", a.strategy.Name())
+	g := a.res.Graph
+	in := &StrategyInput{Graph: g, Sets: a.res.Sets, Webs: a.res.Webs, Opt: a.opt}
+	asn, err := a.strategy.Allocate(ctx, in)
+	if err != nil {
+		return fmt.Errorf("strategy %q: %w", a.strategy.Name(), err)
 	}
+	a.active = append(a.active[:0], asn.Active...)
+	a.res.Blankets = asn.Blankets
+	a.res.Stats.WebsColored = asn.Colored
+	a.noSpillMotion = asn.DisableSpillMotion
 	if cap(a.promotedAt) >= len(g.Nodes) {
 		a.promotedAt = a.promotedAt[:len(g.Nodes)]
 		for i := range a.promotedAt {
@@ -213,11 +183,12 @@ func (a *analysis) stageColoring(ctx context.Context) {
 		})
 	}
 	span.SetInt("colored", int64(a.res.Stats.WebsColored))
+	return nil
 }
 
 // stageClusters identifies and prunes the spill-motion clusters.
 func (a *analysis) stageClusters(ctx context.Context) {
-	if !a.opt.SpillMotion {
+	if !a.spillMotion() {
 		return
 	}
 	_, span := telemetry.StartSpan(ctx, "clusters")
@@ -239,7 +210,7 @@ func (a *analysis) refreshClusterStats() {
 // excluded from preallocation), so it always re-runs even when the
 // cluster structure itself is reused.
 func (a *analysis) stageClusterSets() {
-	if !a.opt.SpillMotion {
+	if !a.spillMotion() {
 		return
 	}
 	g := a.res.Graph

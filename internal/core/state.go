@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"ipra/internal/callgraph"
 	"ipra/internal/clusters"
@@ -70,7 +71,10 @@ func (st *State) Unsupported() string { return st.unsupported }
 // optionsKey fingerprints every option that shapes analyzer output. Jobs
 // is deliberately excluded — results are byte-identical at any setting.
 // The Profile contents are excluded too: a run with a profile attached
-// always recomputes counts, so only its presence matters.
+// always recomputes counts, so only its presence matters. The strategy
+// name participates so switching strategies over one build directory
+// falls back to a full analysis instead of patching a state the new
+// policy never produced.
 func optionsKey(opt Options) string {
 	if opt.Filter == (webs.FilterOptions{}) {
 		opt.Filter = webs.DefaultFilter()
@@ -78,10 +82,14 @@ func optionsKey(opt Options) string {
 	if opt.Cluster.RootBias == 0 {
 		opt.Cluster = clusters.DefaultOptions()
 	}
-	return fmt.Sprintf("v1|sm=%t|pm=%d|cr=%d|bc=%d|f=%+v|cl=%+v|pp=%t|mw=%t|prof=%t|csp=%t",
+	strat := opt.Strategy
+	if strat == "" {
+		strat = DefaultStrategyName
+	}
+	return fmt.Sprintf("v2|sm=%t|pm=%d|cr=%d|bc=%d|f=%+v|cl=%+v|pp=%t|mw=%t|prof=%t|csp=%t|strat=%s",
 		opt.SpillMotion, opt.Promotion, opt.ColoringRegs, opt.BlanketCount,
 		opt.Filter, opt.Cluster, opt.PartialProgram, opt.MergeWebs,
-		opt.Profile != nil, opt.CallerSavesPreallocation)
+		opt.Profile != nil, opt.CallerSavesPreallocation, strings.ToLower(strat))
 }
 
 // makeStamp summarizes one module for later change detection.

@@ -1,0 +1,191 @@
+// The Strategy interface: web promotion and its interaction with spill
+// motion, pluggable behind one seam. The analyzer pipeline (graph →
+// refsets → webs → *coloring* → clusters → directives) delegates exactly
+// the starred stage to a Strategy: given the webs, their priorities, and
+// (on demand) an explicit interference structure, the strategy decides
+// which webs occupy which callee-saves registers and whether spill
+// motion may run at all. Everything around it — web identification,
+// filtering, cluster preallocation, directive assembly, the verifier —
+// is strategy-independent, which is what lets competing policies from
+// the related work run under identical conditions.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ipra/internal/callgraph"
+	"ipra/internal/refsets"
+	"ipra/internal/webs"
+)
+
+// Registered strategy names.
+const (
+	// StrategyPriority is the paper's priority-based web coloring (§4.1.3)
+	// — the default, and the policy every golden output is pinned to.
+	StrategyPriority = "priority"
+	// StrategyFirstFit is priority-ordered first-fit over the explicit
+	// interference structure: the classical liveness → interference →
+	// assignment staging, run over webs instead of live ranges.
+	StrategyFirstFit = "firstfit"
+	// StrategySpillEverywhere promotes nothing and vetoes spill motion —
+	// every procedure keeps the standard linkage convention. It is the
+	// tractable lower-bound oracle of Bouchez et al.: any competing
+	// policy must save at least as many cycles as this one.
+	StrategySpillEverywhere = "spill-everywhere"
+	// StrategyTiling is a reuse-interval policy after Domagała et al.:
+	// webs are flattened to intervals over a linearized call graph and a
+	// register is reused as soon as its previous occupant's interval
+	// expires — a linear scan over web tiles.
+	StrategyTiling = "tiling"
+)
+
+// DefaultStrategyName is the strategy used when Options.Strategy is empty.
+const DefaultStrategyName = StrategyPriority
+
+// StrategyInput is everything a strategy may consult: the call graph,
+// the reference-set families, and the identified webs with priorities
+// computed and filters applied (discarded webs are marked, not removed).
+// The explicit interference structure is built lazily on first use so
+// policies that do not need it (the default) pay nothing for it.
+type StrategyInput struct {
+	Graph *callgraph.Graph
+	Sets  *refsets.Sets
+	// Webs is the full identified web list. Strategies must color only
+	// webs with Discarded == false; webs.Considered gives them in
+	// priority order.
+	Webs []*webs.Web
+	// Opt carries the analyzer options (promotion mode, register budget).
+	Opt Options
+
+	interference *webs.InterferenceGraph
+}
+
+// Interference returns the explicit interference graph over the
+// considered webs, building and caching it on first call.
+func (in *StrategyInput) Interference() *webs.InterferenceGraph {
+	if in.interference == nil {
+		in.interference = webs.BuildInterference(in.Webs, len(in.Graph.Nodes))
+	}
+	return in.interference
+}
+
+// Assignment is a strategy's decision. Active webs must carry Color in
+// [0, 16): color c occupies callee-saves register CalleeSavedLast - c,
+// and two active webs sharing a call graph node must carry distinct
+// colors (internal/verify checks exactly this for every strategy).
+type Assignment struct {
+	// Active lists the webs selected for promotion.
+	Active []*webs.Web
+	// Blankets lists synthesized blanket webs (subset of Active), for
+	// strategies that implement the [Wall 86] blanket mode.
+	Blankets []*webs.Web
+	// Colored is the number of webs the strategy promoted (Stats.WebsColored).
+	Colored int
+	// DisableSpillMotion vetoes the cluster stages even when
+	// Options.SpillMotion is on. The spill-everywhere oracle uses this to
+	// pin every procedure to the standard linkage convention.
+	DisableSpillMotion bool
+}
+
+// Strategy is one allocation policy: it selects the promoted webs and
+// assigns their registers. Implementations must be deterministic — the
+// incremental driver replays them and asserts byte-identical output —
+// and safe for concurrent use (one registry instance serves all runs).
+type Strategy interface {
+	// Name returns the registry name, lower-case and stable.
+	Name() string
+	// Allocate decides the promotion for one analysis. It may mutate the
+	// Color field of the webs in in.Webs (that is how the assignment is
+	// carried), but nothing else.
+	Allocate(ctx context.Context, in *StrategyInput) (*Assignment, error)
+}
+
+var (
+	strategyMu sync.RWMutex
+	strategies = make(map[string]Strategy)
+)
+
+// RegisterStrategy adds a strategy under its Name. Registering a
+// duplicate or empty name panics: the registry is assembled at init time
+// and a collision is a programming error.
+func RegisterStrategy(s Strategy) {
+	name := strings.ToLower(s.Name())
+	if name == "" {
+		panic("core: RegisterStrategy with empty name")
+	}
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	if _, dup := strategies[name]; dup {
+		panic("core: duplicate strategy " + name)
+	}
+	strategies[name] = s
+}
+
+func init() {
+	RegisterStrategy(priorityStrategy{})
+	RegisterStrategy(firstFitStrategy{})
+	RegisterStrategy(spillEverywhereStrategy{})
+	RegisterStrategy(tilingStrategy{})
+}
+
+// StrategyByName looks up a registered strategy. The empty name resolves
+// to the default; lookup is case-insensitive.
+func StrategyByName(name string) (Strategy, error) {
+	canon, err := ResolveStrategy(name)
+	if err != nil {
+		return nil, err
+	}
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	return strategies[canon], nil
+}
+
+// ResolveStrategy canonicalizes a strategy name: "" resolves to
+// DefaultStrategyName, case is folded, and unknown names error with the
+// registered set.
+func ResolveStrategy(name string) (string, error) {
+	if name == "" {
+		return DefaultStrategyName, nil
+	}
+	canon := strings.ToLower(name)
+	strategyMu.RLock()
+	_, ok := strategies[canon]
+	strategyMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("core: unknown allocation strategy %q (have %s)",
+			name, strings.Join(StrategyNames(), ", "))
+	}
+	return canon, nil
+}
+
+// StrategyNames lists the registered strategies: the default first, the
+// rest alphabetical.
+func StrategyNames() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		if name != DefaultStrategyName {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{DefaultStrategyName}, names...)
+}
+
+// coloringRegs clamps the configured web-coloring register budget to the
+// callee-saves capacity (the paper's experiments use 6 of 16).
+func coloringRegs(opt Options) int {
+	k := opt.ColoringRegs
+	if k <= 0 {
+		k = 6
+	}
+	if k > 16 {
+		k = 16
+	}
+	return k
+}

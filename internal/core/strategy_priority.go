@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+
+	"ipra/internal/webs"
+)
+
+// priorityStrategy is the paper's promotion policy, moved verbatim from
+// the former stageColoring switch: priority-based coloring onto a
+// reserved register subset (§4.1.3, Table 4 column C), the greedy
+// full-set variant (column D), or [Wall 86] blanket promotion (column
+// E), selected by the Promotion mode. Output under this strategy is
+// byte-identical to the pre-Strategy-refactor allocator.
+type priorityStrategy struct{}
+
+func (priorityStrategy) Name() string { return StrategyPriority }
+
+func (priorityStrategy) Allocate(_ context.Context, in *StrategyInput) (*Assignment, error) {
+	g, allWebs := in.Graph, in.Webs
+	asn := &Assignment{}
+	switch in.Opt.Promotion {
+	case PromoteColoring:
+		asn.Colored = webs.Color(allWebs, coloringRegs(in.Opt))
+		for _, w := range allWebs {
+			if !w.Discarded && w.Color >= 0 {
+				asn.Active = append(asn.Active, w)
+			}
+		}
+	case PromoteGreedy:
+		need := func(n int) int {
+			nd := g.Nodes[n]
+			if nd.Rec == nil {
+				return 0
+			}
+			return nd.Rec.CalleeSavesBase
+		}
+		asn.Colored = webs.GreedyColor(allWebs, g, need, 16)
+		for _, w := range allWebs {
+			if !w.Discarded && w.Color >= 0 {
+				asn.Active = append(asn.Active, w)
+			}
+		}
+	case PromoteBlanket:
+		n := in.Opt.BlanketCount
+		if n <= 0 {
+			n = 6
+		}
+		blankets := webs.BlanketSelect(g, in.Sets, allWebs, n)
+		// A blanket web's loads are inserted at its entry procedures. An
+		// entry without a summary record is code we never compile — the
+		// unknown callers of a partial program (§7.2) — so nothing would
+		// load the global and every member reached from it would read a
+		// stale register. Such webs cannot be realized; drop them.
+		kept := blankets[:0]
+		for _, w := range blankets {
+			realizable := true
+			for _, e := range w.Entries {
+				if g.Nodes[e].Rec == nil {
+					realizable = false
+					break
+				}
+			}
+			if realizable {
+				kept = append(kept, w)
+			}
+		}
+		asn.Blankets = kept
+		asn.Active = append(asn.Active, kept...)
+		asn.Colored = len(asn.Active)
+	}
+	return asn, nil
+}

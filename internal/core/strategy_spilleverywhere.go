@@ -1,0 +1,24 @@
+package core
+
+import (
+	"context"
+)
+
+// spillEverywhereStrategy is the lower-bound oracle (Bouchez et al.):
+// promote no web and veto spill motion, so every procedure keeps the
+// standard linkage convention and every global lives in memory — exactly
+// a level-2 compilation regardless of the configured promotion mode.
+// Interprocedural allocation can only remove memory traffic relative to
+// this point, so any strategy's saved cycles must be ≥ this one's; the
+// experiment matrix records it as the floor every policy is measured
+// against.
+type spillEverywhereStrategy struct{}
+
+func (spillEverywhereStrategy) Name() string { return StrategySpillEverywhere }
+
+func (spillEverywhereStrategy) Allocate(_ context.Context, in *StrategyInput) (*Assignment, error) {
+	for _, w := range in.Webs {
+		w.Color = -1
+	}
+	return &Assignment{DisableSpillMotion: true}, nil
+}

@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ipra/internal/core"
+	"ipra/internal/progen"
+	"ipra/internal/verify"
+	"ipra/internal/webs"
+)
+
+func TestStrategyRegistry(t *testing.T) {
+	names := core.StrategyNames()
+	if len(names) != 4 {
+		t.Fatalf("StrategyNames() = %v, want 4 strategies", names)
+	}
+	if names[0] != core.DefaultStrategyName {
+		t.Errorf("StrategyNames()[0] = %q, want the default %q", names[0], core.DefaultStrategyName)
+	}
+	for _, name := range names {
+		s, err := core.StrategyByName(name)
+		if err != nil {
+			t.Errorf("StrategyByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("StrategyByName(%q).Name() = %q", name, s.Name())
+		}
+		canon, err := core.ResolveStrategy(strings.ToUpper(name))
+		if err != nil || canon != name {
+			t.Errorf("ResolveStrategy(%q) = %q, %v", strings.ToUpper(name), canon, err)
+		}
+	}
+	if canon, err := core.ResolveStrategy(""); err != nil || canon != core.DefaultStrategyName {
+		t.Errorf("ResolveStrategy(\"\") = %q, %v", canon, err)
+	}
+	if _, err := core.ResolveStrategy("bogus"); err == nil {
+		t.Error("ResolveStrategy(\"bogus\") should fail")
+	}
+	if _, err := core.StrategyByName("bogus"); err == nil {
+		t.Error("StrategyByName(\"bogus\") should fail")
+	}
+}
+
+// dupStrategy collides with the registered default by name.
+type dupStrategy struct{}
+
+func (dupStrategy) Name() string { return core.DefaultStrategyName }
+func (dupStrategy) Allocate(context.Context, *core.StrategyInput) (*core.Assignment, error) {
+	return &core.Assignment{}, nil
+}
+
+func TestRegisterStrategyRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering an existing strategy should panic")
+		}
+	}()
+	core.RegisterStrategy(dupStrategy{})
+}
+
+func TestAnalyzeUnknownStrategy(t *testing.T) {
+	opt := core.DefaultOptions()
+	opt.Strategy = "bogus"
+	if _, err := core.Analyze(context.Background(), twoModuleProgram(), opt); err == nil {
+		t.Fatal("Analyze with an unknown strategy should fail")
+	}
+}
+
+// TestStrategiesVerifierClean runs every registered strategy over a
+// synthesized program under every promotion mode and checks the
+// independent allocation verifier stays clean, plus each strategy's
+// structural contract.
+func TestStrategiesVerifierClean(t *testing.T) {
+	pcfg, err := progen.Preset("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := progen.GenerateSummaries(pcfg)
+
+	modes := []core.PromotionMode{
+		core.PromoteNone, core.PromoteColoring, core.PromoteGreedy, core.PromoteBlanket,
+	}
+	for _, strat := range core.StrategyNames() {
+		for _, mode := range modes {
+			opt := core.DefaultOptions()
+			opt.Strategy = strat
+			opt.Promotion = mode
+			res, err := core.Analyze(context.Background(), sums, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", strat, mode, err)
+			}
+			if res.Strategy != strat {
+				t.Errorf("%s/%s: result records strategy %q", strat, mode, res.Strategy)
+			}
+			if vs := verify.Check(res.Graph, res.Sets, res.DB); len(vs) > 0 {
+				for _, v := range vs {
+					t.Errorf("%s/%s: verify: %s", strat, mode, v)
+				}
+			}
+			if strat == core.StrategySpillEverywhere && res.Stats.WebsColored != 0 {
+				t.Errorf("spill-everywhere colored %d webs, want 0", res.Stats.WebsColored)
+			}
+		}
+	}
+}
+
+// TestFirstFitColoringIsProper rebuilds the interference structure the
+// first-fit strategy colored from and checks no two interfering webs
+// share a register.
+func TestFirstFitColoringIsProper(t *testing.T) {
+	pcfg, err := progen.Preset("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := progen.GenerateSummaries(pcfg)
+	opt := core.DefaultOptions()
+	opt.Strategy = core.StrategyFirstFit
+	res, err := core.Analyze(context.Background(), sums, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := webs.BuildInterference(res.Webs, len(res.Graph.Nodes))
+	colored := 0
+	for i, w := range ig.Webs {
+		if w.Color < 0 {
+			continue
+		}
+		colored++
+		for _, j := range ig.Adj[i] {
+			n := ig.Webs[j]
+			if n.Color == w.Color {
+				t.Errorf("webs %s and %s interfere but share color %d", w.Var, n.Var, w.Color)
+			}
+		}
+	}
+	if colored == 0 {
+		t.Error("first-fit colored no webs on the small progen preset")
+	}
+}

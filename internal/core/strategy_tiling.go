@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"ipra/internal/callgraph"
+	"ipra/internal/webs"
+)
+
+// tilingStrategy is a reuse-interval policy after Domagała et al.: each
+// web is flattened to the interval its member nodes span in a reverse
+// postorder linearization of the call graph, intervals are visited in
+// start order, and a register is reused as soon as its previous
+// occupant's interval has expired — a linear scan over web tiles rather
+// than a graph coloring. Distinct call graph nodes occupy distinct
+// positions, so disjoint intervals imply disjoint member sets and the
+// assignment can never place interfering webs in one register; the cost
+// is over-approximation (an interval covers nodes the web does not
+// contain), which is precisely the trade the tiling family makes.
+type tilingStrategy struct{}
+
+func (tilingStrategy) Name() string { return StrategyTiling }
+
+func (tilingStrategy) Allocate(_ context.Context, in *StrategyInput) (*Assignment, error) {
+	asn := &Assignment{}
+	if in.Opt.Promotion == PromoteNone {
+		return asn, nil
+	}
+	k := coloringRegs(in.Opt)
+	pos := rpoPositions(in.Graph)
+
+	cs := webs.Considered(in.Webs)
+	type interval struct {
+		w      *webs.Web
+		lo, hi int
+	}
+	ivs := make([]interval, 0, len(cs))
+	for _, w := range cs {
+		w.Color = -1
+		lo, hi := len(pos), -1
+		w.Nodes.ForEach(func(id int) {
+			p := pos[id]
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		})
+		if hi < 0 {
+			continue
+		}
+		ivs = append(ivs, interval{w, lo, hi})
+	}
+	// Start order; among tiles opening at the same position, hotter webs
+	// claim a register first.
+	sort.SliceStable(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		if ivs[i].w.Priority != ivs[j].w.Priority {
+			return ivs[i].w.Priority > ivs[j].w.Priority
+		}
+		return ivs[i].w.ID < ivs[j].w.ID
+	})
+
+	// busyUntil[c] is the end position of register c's current occupant.
+	busyUntil := make([]int, k)
+	for c := range busyUntil {
+		busyUntil[c] = -1
+	}
+	for _, iv := range ivs {
+		reg := -1
+		for c := 0; c < k; c++ {
+			if busyUntil[c] < iv.lo {
+				reg = c
+				break
+			}
+		}
+		if reg < 0 {
+			continue // no expired register: the web stays in memory
+		}
+		iv.w.Color = reg
+		busyUntil[reg] = iv.hi
+		asn.Active = append(asn.Active, iv.w)
+		asn.Colored++
+	}
+	return asn, nil
+}
+
+// rpoPositions linearizes the call graph: reverse postorder from the
+// start nodes (visiting Starts and Out edges in their deterministic
+// build order), with unreached nodes swept up in ID order. Every node
+// gets a unique position.
+func rpoPositions(g *callgraph.Graph) []int {
+	n := len(g.Nodes)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, e := range g.Nodes[u].Out {
+			if !seen[e.To] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, u)
+	}
+	for _, s := range g.Starts {
+		if !seen[s] {
+			dfs(s)
+		}
+	}
+	for id := 0; id < n; id++ {
+		if !seen[id] {
+			dfs(id)
+		}
+	}
+	pos := make([]int, n)
+	for i, u := range post {
+		pos[u] = len(post) - 1 - i
+	}
+	return pos
+}

@@ -21,9 +21,9 @@
 // of the same sources — reuse is pure memoization, never approximation.
 //
 // The engine is toolchain-agnostic: callers inject the compiler phases as
-// a Toolchain of hooks (the ipra package wires its phase helpers in via
-// CompileIncremental), which also keeps this package free of an import
-// cycle with the driver above it.
+// a Toolchain of hooks (the ipra package wires its phase helpers in from
+// Build's WithBuildDir path), which also keeps this package free of an
+// import cycle with the driver above it.
 package incremental
 
 import (

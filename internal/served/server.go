@@ -255,6 +255,13 @@ func (s *Server) Build(ctx context.Context, req *BuildRequest) (*BuildResponse, 
 	if _, err := ipra.PresetByName(req.Config); err != nil {
 		return nil, err
 	}
+	// Canonicalize the strategy before any key is computed so "" and
+	// the default name deduplicate (and cache) as one request.
+	canon, err := ipra.ResolveStrategy(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	req.Strategy = canon
 	if s.draining.Load() {
 		return nil, fmt.Errorf("served: server is shutting down")
 	}
@@ -352,6 +359,11 @@ func (s *Server) runBuild(ctx context.Context, req *BuildRequest) (*BuildRespons
 	if err != nil {
 		return nil, err
 	}
+	strat, err := ipra.ResolveStrategy(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithStrategy(strat)
 	cfg.Jobs = s.opts.Jobs
 
 	sources := make([]ipra.Source, len(req.Sources))

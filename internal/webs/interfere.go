@@ -1,0 +1,85 @@
+package webs
+
+import (
+	"sort"
+)
+
+// Considered returns the colorable candidates in priority order (highest
+// priority first, ties broken by web ID). This is the canonical candidate
+// ordering every allocation strategy consumes; the paper's priority
+// coloring walks exactly this list.
+func Considered(ws []*Web) []*Web { return considered(ws) }
+
+// InterferenceGraph is the explicit web interference structure: the
+// considered webs in priority order plus, per web, the indexes of every
+// other considered web whose member set intersects it (§4.1.3 — two webs
+// interfere when they share a call graph node, and interfering webs
+// cannot be promoted to the same register).
+//
+// The paper's coloring never materializes this graph — it probes
+// per-node colored-web lists on the fly. Strategies that want the
+// liveness → interference → assignment staging of classical allocators
+// build it once here and then work purely over adjacency.
+type InterferenceGraph struct {
+	// Webs holds the considered candidates in priority order.
+	Webs []*Web
+	// Adj[i] lists the indexes (into Webs) of the webs interfering with
+	// Webs[i], ascending. The relation is symmetric by construction.
+	Adj [][]int32
+}
+
+// Degree returns the interference degree of candidate i.
+func (ig *InterferenceGraph) Degree(i int) int { return len(ig.Adj[i]) }
+
+// BuildInterference constructs the explicit interference graph over the
+// considered webs of ws. maxNodes bounds the call graph node ID space.
+// Interference is found through per-node member lists rather than a
+// pairwise member-set intersection scan, so the cost is linear in total
+// membership plus the number of interfering pairs.
+func BuildInterference(ws []*Web, maxNodes int) *InterferenceGraph {
+	cs := considered(ws)
+	ig := &InterferenceGraph{Webs: cs, Adj: make([][]int32, len(cs))}
+
+	// Per-node lists of the considered webs containing that node.
+	counts := make([]int, maxNodes)
+	total := 0
+	for _, w := range cs {
+		w.Nodes.ForEach(func(id int) {
+			counts[id]++
+			total++
+		})
+	}
+	slab := make([]int32, total)
+	at := make([][]int32, maxNodes)
+	off := 0
+	for id, c := range counts {
+		if c > 0 {
+			at[id] = slab[off:off : off+c]
+			off += c
+		}
+	}
+	for i, w := range cs {
+		w.Nodes.ForEach(func(id int) {
+			at[id] = append(at[id], int32(i))
+		})
+	}
+
+	// Gather each web's neighbors across its member nodes, deduplicated
+	// with a stamp array (a node shared by webs i and j contributes the
+	// pair once from each side, keeping Adj symmetric).
+	stamp := make([]int, len(cs))
+	for i, w := range cs {
+		var adj []int32
+		w.Nodes.ForEach(func(id int) {
+			for _, j := range at[id] {
+				if int(j) != i && stamp[j] != i+1 {
+					stamp[j] = i + 1
+					adj = append(adj, j)
+				}
+			}
+		})
+		sort.Slice(adj, func(x, y int) bool { return adj[x] < adj[y] })
+		ig.Adj[i] = adj
+	}
+	return ig
+}

@@ -66,6 +66,13 @@ type Config struct {
 	UseAnalyzer bool
 	// Analyzer configures the program analyzer when enabled.
 	Analyzer core.Options
+	// Strategy names the allocation strategy the analyzer delegates web
+	// promotion to ("" selects the default, the paper's priority
+	// coloring). Presets carry it explicitly; derive variants with
+	// WithStrategy. The name participates in the incremental analyzer's
+	// options hash and the daemon's request keys, so switching strategies
+	// invalidates exactly what it must.
+	Strategy string
 	// WantProfile marks configurations that use dynamic call counts; the
 	// caller must supply Profile or build with the WithProfile option.
 	WantProfile bool
@@ -84,6 +91,19 @@ type Config struct {
 	// equivalent to recompiling; disable it only to measure cold-compile
 	// costs.
 	DisableCache bool
+}
+
+// analyzerOptions resolves the analyzer options one compile passes to
+// core.Analyze: the configured options plus the per-build profile, job
+// bound, and allocation strategy.
+func (c Config) analyzerOptions() core.Options {
+	o := c.Analyzer
+	o.Profile = c.Profile
+	o.Jobs = c.Jobs
+	if c.Strategy != "" {
+		o.Strategy = c.Strategy
+	}
+	return o
 }
 
 // presetBuilders is the configuration registry: one constructor per named
@@ -106,13 +126,13 @@ var presetBuilders = []struct {
 }
 
 func buildLevel2() Config {
-	return Config{Name: "L2"}
+	return Config{Name: "L2", Strategy: DefaultStrategy}
 }
 
 func buildConfigA() Config {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteNone
-	return Config{Name: "A", UseAnalyzer: true, Analyzer: o}
+	return Config{Name: "A", UseAnalyzer: true, Analyzer: o, Strategy: DefaultStrategy}
 }
 
 func buildConfigB() Config {
@@ -124,19 +144,19 @@ func buildConfigB() Config {
 
 func buildConfigC() Config {
 	o := core.DefaultOptions()
-	return Config{Name: "C", UseAnalyzer: true, Analyzer: o}
+	return Config{Name: "C", UseAnalyzer: true, Analyzer: o, Strategy: DefaultStrategy}
 }
 
 func buildConfigD() Config {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteGreedy
-	return Config{Name: "D", UseAnalyzer: true, Analyzer: o}
+	return Config{Name: "D", UseAnalyzer: true, Analyzer: o, Strategy: DefaultStrategy}
 }
 
 func buildConfigE() Config {
 	o := core.DefaultOptions()
 	o.Promotion = core.PromoteBlanket
-	return Config{Name: "E", UseAnalyzer: true, Analyzer: o}
+	return Config{Name: "E", UseAnalyzer: true, Analyzer: o, Strategy: DefaultStrategy}
 }
 
 func buildConfigF() Config {
@@ -177,32 +197,46 @@ func PresetByName(name string) (Config, error) {
 	return Config{}, fmt.Errorf("unknown configuration %q (want %s)", name, strings.Join(PresetNames(), ", "))
 }
 
-// Level2 is the baseline: global optimization only, standard linkage.
-// It is a wrapper over the Presets registry entry "L2".
-func Level2() Config { return buildLevel2() }
+// MustPreset is PresetByName for known-good literal names; it panics on
+// an unknown name. Examples and tests use it where a resolution error
+// could only mean a typo.
+func MustPreset(name string) Config {
+	cfg, err := PresetByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
 
-// ConfigA is spill code motion only (Table 4 column A); registry entry "A".
-func ConfigA() Config { return buildConfigA() }
+// DefaultStrategy is the allocation strategy presets carry: the paper's
+// priority-based web coloring.
+const DefaultStrategy = core.DefaultStrategyName
 
-// ConfigB is spill code motion with profile information (column B);
-// registry entry "B".
-func ConfigB() Config { return buildConfigB() }
+// The registered allocation strategy names, re-exported so matrix
+// drivers can name individual policies without importing internal/core.
+const (
+	StrategyPriority        = core.StrategyPriority
+	StrategyFirstFit        = core.StrategyFirstFit
+	StrategySpillEverywhere = core.StrategySpillEverywhere
+	StrategyTiling          = core.StrategyTiling
+)
 
-// ConfigC is spill motion plus 6-register web coloring (column C);
-// registry entry "C".
-func ConfigC() Config { return buildConfigC() }
+// StrategyNames lists the registered allocation strategies, default
+// first. Use with Config.WithStrategy or a CLI -strategy flag.
+func StrategyNames() []string { return core.StrategyNames() }
 
-// ConfigD is spill motion plus greedy coloring (column D); registry
-// entry "D".
-func ConfigD() Config { return buildConfigD() }
+// ResolveStrategy canonicalizes an allocation strategy name
+// (case-insensitive; "" resolves to DefaultStrategy) or errors with the
+// registered set.
+func ResolveStrategy(name string) (string, error) { return core.ResolveStrategy(name) }
 
-// ConfigE is spill motion plus blanket promotion of the 6 hottest globals
-// (column E, the [Wall 86] policy); registry entry "E".
-func ConfigE() Config { return buildConfigE() }
-
-// ConfigF is configuration C with profile information (column F);
-// registry entry "F".
-func ConfigF() Config { return buildConfigF() }
+// WithStrategy derives a configuration that allocates under the named
+// strategy. The name is resolved lazily: an unknown strategy surfaces as
+// a Build error.
+func (c Config) WithStrategy(name string) Config {
+	c.Strategy = name
+	return c
+}
 
 // Configs returns the paper's full configuration sweep, Table 4 order
 // (the Presets registry minus the L2 baseline).
@@ -467,8 +501,6 @@ type BuildResult struct {
 // cfg.Jobs workers with output byte-identical to a sequential run.
 // Options select profile-guided compilation (WithProfile), persistent
 // incremental build state (WithBuildDir), and telemetry (WithTelemetry).
-// It replaces the deprecated Compile, CompileProfiled, CompileIncremental,
-// and CompileProfiledIncremental entry points.
 func Build(ctx context.Context, sources []Source, cfg Config, opts ...BuildOption) (*BuildResult, error) {
 	var s buildSettings
 	for _, o := range opts {
@@ -593,10 +625,7 @@ func compile(ctx context.Context, sources []Source, cfg Config) (*Program, error
 
 	// ---- Program analyzer.
 	if cfg.UseAnalyzer {
-		o := cfg.Analyzer
-		o.Profile = cfg.Profile
-		o.Jobs = cfg.Jobs
-		res, err := core.Analyze(ctx, p.Summaries, o)
+		res, err := core.Analyze(ctx, p.Summaries, cfg.analyzerOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -735,8 +764,9 @@ func ToolchainFingerprint() string { return toolchainFingerprint() }
 // The configuration needs no fingerprint of its own in the build state:
 // nothing in Config reaches phase 1, and phase 2 sees the configuration
 // only through the program database, whose directives are diffed directly.
-// Switching configurations over one build directory therefore rebuilds
-// exactly the modules whose directives the switch changes.
+// Switching configurations — or allocation strategies, which participate
+// in the analyzer's own options hash — over one build directory therefore
+// rebuilds exactly the modules whose directives the switch changes.
 func compileIncremental(ctx context.Context, sources []Source, cfg Config, buildDir string, explainW io.Writer) (*Program, *incremental.Outcome, error) {
 	p := &Program{Config: cfg}
 	tc := incremental.Toolchain{
@@ -750,10 +780,7 @@ func compileIncremental(ctx context.Context, sources []Source, cfg Config, build
 				db.EligibleGlobals = eligibleFromSummaries(sums)
 				return db, nil
 			}
-			o := cfg.Analyzer
-			o.Profile = cfg.Profile
-			o.Jobs = cfg.Jobs
-			res, err := core.Analyze(ctx, sums, o)
+			res, err := core.Analyze(ctx, sums, cfg.analyzerOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -776,9 +803,7 @@ func compileIncremental(ctx context.Context, sources []Source, cfg Config, build
 		// directory held (an unreadable blob just means a full analysis),
 		// analyze reusing it, and hand back the refreshed encoding.
 		tc.AnalyzeIncremental = func(ctx context.Context, sums []*summary.ModuleSummary, dirty []string, prevState []byte) (*pdb.Database, []byte, *incremental.AnalyzerReuse, error) {
-			o := cfg.Analyzer
-			o.Profile = cfg.Profile
-			o.Jobs = cfg.Jobs
+			o := cfg.analyzerOptions()
 			var prev *core.State
 			if len(prevState) > 0 {
 				if s, err := core.DecodeState(prevState); err == nil {
@@ -842,91 +867,4 @@ func (p *Program) Run(maxInstrs uint64, profile bool) (*RunResult, error) {
 		res.Profile = vm.Profile()
 	}
 	return res, nil
-}
-
-// Compile runs the full pipeline over the sources.
-//
-// Deprecated: Use Build. Compile(sources, cfg) is exactly
-// Build(context.Background(), sources, cfg).
-func Compile(sources []Source, cfg Config) (*Program, error) {
-	res, err := Build(context.Background(), sources, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return res.Program, nil
-}
-
-// CompileProfiled implements the profile-guided configurations (B, F).
-//
-// Deprecated: Use Build with WithProfile. CompileProfiled(sources, cfg,
-// maxInstrs) is exactly Build(context.Background(), sources, cfg,
-// WithProfile(maxInstrs)), whose result carries the training run as
-// BuildResult.Train.
-func CompileProfiled(sources []Source, cfg Config, maxInstrs uint64) (*Program, *RunResult, error) {
-	res, err := Build(context.Background(), sources, cfg, WithProfile(maxInstrs))
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Program, res.Train, nil
-}
-
-// IncrementalOptions configure CompileIncremental.
-//
-// Deprecated: Use Build with WithBuildDir (and WithStderr for Explain).
-type IncrementalOptions struct {
-	// BuildDir is the persistent build-state directory (created if
-	// missing). State inside is keyed by source content, directive hashes,
-	// and a toolchain fingerprint; see internal/incremental.
-	BuildDir string
-	// Explain, when non-nil, receives one line per module explaining why
-	// it was or wasn't rebuilt.
-	Explain io.Writer
-}
-
-// options converts to Build options, preserving the old strictness about
-// an empty build directory.
-func (o IncrementalOptions) options() ([]BuildOption, error) {
-	if o.BuildDir == "" {
-		return nil, fmt.Errorf("incremental: empty build directory path")
-	}
-	opts := []BuildOption{WithBuildDir(o.BuildDir)}
-	if o.Explain != nil {
-		opts = append(opts, WithStderr(o.Explain))
-	}
-	return opts, nil
-}
-
-// CompileIncremental is Compile backed by a persistent build directory.
-//
-// Deprecated: Use Build with WithBuildDir; the rebuild record is
-// BuildResult.Incremental.
-func CompileIncremental(sources []Source, cfg Config, opts IncrementalOptions) (*Program, *incremental.Outcome, error) {
-	bopts, err := opts.options()
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := Build(context.Background(), sources, cfg, bopts...)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Program, res.Incremental, nil
-}
-
-// CompileProfiledIncremental is CompileProfiled over persistent build
-// state.
-//
-// Deprecated: Use Build with WithProfile and WithBuildDir; the training
-// run is BuildResult.Train and the rebuild record (of the final, profiled
-// pass) is BuildResult.Incremental.
-func CompileProfiledIncremental(sources []Source, cfg Config, maxInstrs uint64, opts IncrementalOptions) (*Program, *RunResult, *incremental.Outcome, error) {
-	bopts, err := opts.options()
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	bopts = append(bopts, WithProfile(maxInstrs))
-	res, err := Build(context.Background(), sources, cfg, bopts...)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return res.Program, res.Train, res.Incremental, nil
 }

@@ -24,7 +24,7 @@ func exeBytes(t testing.TB, exe *parv.Executable) []byte {
 
 // determinismConfigs is the determinism matrix: the baseline plus Table 4 A–F.
 func determinismConfigs() []Config {
-	return append([]Config{Level2()}, Configs()...)
+	return append([]Config{MustPreset("L2")}, Configs()...)
 }
 
 // TestParallelCompileDeterminism checks the tentpole guarantee: a
@@ -86,7 +86,7 @@ func TestParallelCompileProfiledDeterminism(t *testing.T) {
 	}
 	sources := benchSources(t, bm)
 
-	seqCfg := ConfigF()
+	seqCfg := MustPreset("F")
 	seqCfg.Jobs = 1
 	seqCfg.DisableCache = true
 	seq, err := Build(context.Background(), sources, seqCfg, WithProfile(bm.MaxInstrs))
@@ -94,7 +94,7 @@ func TestParallelCompileProfiledDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	parCfg := ConfigF()
+	parCfg := MustPreset("F")
 	parCfg.Jobs = 8
 	par, err := Build(context.Background(), sources, parCfg, WithProfile(bm.MaxInstrs))
 	if err != nil {
@@ -118,7 +118,7 @@ func TestParallelCompileRace(t *testing.T) {
 	suite := benchprogs.All()
 	err := pipeline.ForEach(4, len(suite), func(i int) error {
 		sources := benchSources(t, suite[i])
-		cfg := ConfigC()
+		cfg := MustPreset("C")
 		cfg.Jobs = 8
 		_, err := Build(context.Background(), sources, cfg)
 		if err != nil {
@@ -126,7 +126,7 @@ func TestParallelCompileRace(t *testing.T) {
 		}
 		// Second compile of the same program: exercises concurrent
 		// cache hits while sibling benchmarks still fill theirs.
-		cfg2 := Level2()
+		cfg2 := MustPreset("L2")
 		cfg2.Jobs = 8
 		_, err = Build(context.Background(), sources, cfg2)
 		return err
@@ -147,7 +147,7 @@ func TestPhase1CacheReuse(t *testing.T) {
 	}
 	sources := benchSources(t, bm)
 
-	if _, err := Build(context.Background(), sources, Level2()); err != nil {
+	if _, err := Build(context.Background(), sources, MustPreset("L2")); err != nil {
 		t.Fatal(err)
 	}
 	s := Phase1CacheStats()
@@ -155,7 +155,7 @@ func TestPhase1CacheReuse(t *testing.T) {
 		t.Fatalf("cold compile: stats = %+v, want %d misses, 0 hits", s, len(sources))
 	}
 
-	cached, err := Build(context.Background(), sources, ConfigC())
+	cached, err := Build(context.Background(), sources, MustPreset("C"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestPhase1CacheReuse(t *testing.T) {
 		t.Fatalf("warm compile: stats = %+v, want %d hits", s, len(sources))
 	}
 
-	cold := ConfigC()
+	cold := MustPreset("C")
 	cold.DisableCache = true
 	uncached, err := Build(context.Background(), sources, cold)
 	if err != nil {

@@ -24,7 +24,7 @@ func compileAndRun(t *testing.T, cfg Config, sources ...Source) *RunResult {
 // the observable behaviour (exit code, output) is identical.
 func allConfigs(t *testing.T, wantExit int32, wantOut string, sources ...Source) {
 	t.Helper()
-	cfgs := append([]Config{Level2()}, ConfigA(), ConfigC(), ConfigD(), ConfigE())
+	cfgs := append([]Config{MustPreset("L2")}, MustPreset("A"), MustPreset("C"), MustPreset("D"), MustPreset("E"))
 	for _, cfg := range cfgs {
 		res := compileAndRun(t, cfg, sources...)
 		if res.Exit != wantExit {
@@ -35,7 +35,7 @@ func allConfigs(t *testing.T, wantExit int32, wantOut string, sources ...Source)
 		}
 	}
 	// Profiled configurations.
-	for _, cfg := range []Config{ConfigB(), ConfigF()} {
+	for _, cfg := range []Config{MustPreset("B"), MustPreset("F")} {
 		p, err := Build(context.Background(), sources, cfg, WithProfile(200_000_000))
 		if err != nil {
 			t.Fatalf("compile profiled (%s): %v", cfg.Name, err)

@@ -165,7 +165,7 @@ func requireNested(t *testing.T, byName map[string][]*chromeEvent, parent, child
 // cache hit/miss counters.
 func TestTracedBuildChromeTrace(t *testing.T) {
 	ResetPhase1Cache()
-	cfg := ConfigF()
+	cfg := MustPreset("F")
 	cfg.Jobs = 4
 
 	tr := telemetry.New()
@@ -255,7 +255,7 @@ func TestTracedBuildChromeTrace(t *testing.T) {
 func TestTracedParallelBuildDeterminism(t *testing.T) {
 	sources := tracedProgram()
 
-	seqCfg := ConfigC()
+	seqCfg := MustPreset("C")
 	seqCfg.Jobs = 1
 	seqCfg.DisableCache = true
 	seq, err := Build(context.Background(), sources, seqCfg)
@@ -263,7 +263,7 @@ func TestTracedParallelBuildDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	parCfg := ConfigC()
+	parCfg := MustPreset("C")
 	parCfg.Jobs = 8
 	parCfg.DisableCache = true
 	tr := telemetry.New()
@@ -310,7 +310,7 @@ func TestDisabledTelemetryZeroAllocOnBuildPath(t *testing.T) {
 // variant to see the cost of tracing (and its absence when disabled).
 func BenchmarkCompileParallelTraced(b *testing.B) {
 	sources := tracedProgram()
-	cfg := ConfigC()
+	cfg := MustPreset("C")
 	cfg.DisableCache = true
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -133,7 +133,7 @@ int add(int x) { total += x; return total; }
 	}
 
 	// Same program through the in-memory driver agrees.
-	p2, err := Build(context.Background(), sources, ConfigC())
+	p2, err := Build(context.Background(), sources, MustPreset("C"))
 	if err != nil {
 		t.Fatal(err)
 	}
