@@ -64,7 +64,7 @@ type report struct {
 
 func main() {
 	var (
-		mode     = flag.String("mode", "remote", "remote (warm daemon) or cold (fresh mcc process per request)")
+		mode     = flag.String("mode", "remote", "remote (warm daemon), cold (fresh mcc process per request), or profiles (fleet profile-drift scenario)")
 		addr     = flag.String("addr", "unix:ipra-served.sock", "daemon address for -mode remote")
 		mccPath  = flag.String("mcc", "", "mcc binary for -mode cold")
 		clients  = flag.Int("clients", 8, "concurrent clients")
@@ -77,6 +77,12 @@ func main() {
 		modules  = flag.Int("modules", 8, "compilation units")
 		procs    = flag.Int("procs", 10, "procedures per module")
 		globals  = flag.Int("globals", 48, "scalar global variables")
+
+		generations = flag.Int("generations", 2, "stable fleet generations streamed before the workload shift (-mode profiles)")
+		genRuns     = flag.Uint64("gen-runs", 4, "VM runs batched into each generation's record (-mode profiles)")
+		exeOut      = flag.String("exe-out", "", "write the retrained executable here (-mode profiles)")
+		snapOut     = flag.String("snapshot-out", "", "write the aggregate snapshot here (-mode profiles)")
+		srcOut      = flag.String("src-out", "", "write the generated module sources into this directory (-mode profiles)")
 	)
 	build := &cliutil.BuildFlags{}
 	build.RegisterBuild(flag.CommandLine)
@@ -103,6 +109,22 @@ func main() {
 		pcfg = p
 	}
 	mods := progen.Generate(pcfg)
+
+	if *mode == "profiles" {
+		p := profilesParams{
+			addr: *addr, config: cfg.Name, trainInstrs: build.TrainInstrs,
+			pcfg: pcfg, mods: mods, label: *label, out: *out,
+			generations: *generations, genRuns: *genRuns,
+			exeOut: *exeOut, snapOut: *snapOut, srcOut: *srcOut,
+		}
+		if err := runProfiles(p); err != nil {
+			common.Fatal(err)
+		}
+		if ferr := common.Finish(); ferr != nil {
+			common.Fatal(ferr)
+		}
+		return
+	}
 
 	rep := report{
 		Label: *label, Mode: *mode, Clients: *clients, RequestsPerClient: *requests,

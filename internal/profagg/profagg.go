@@ -1,0 +1,273 @@
+// Package profagg is the fleet-scale profile-aggregation service behind
+// ipra-served's /v1/profile endpoint: it ingests wire-encoded call-edge
+// count records from many VM runs, merges them into per-program aggregate
+// counters with a persisted snapshot in the program's build directory,
+// and detects profile drift — the point where the aggregated counts would
+// change the allocator's weighted web coloring — so re-analysis is
+// triggered only when it buys cycles.
+//
+// Versioning: every record carries the producing binary's toolchain
+// fingerprint and the directive hash of the program database it was
+// compiled against. Records from a stale binary (either mismatch) are
+// rejected rather than merged; mixing counts measured under different
+// allocations would corrupt the aggregate, because the directives change
+// which procedures pay save/restore traffic.
+//
+// Drift detection re-runs the priority function's weight computation
+// (webs.ComputePriorities) over the aggregate's mean profile and compares
+// the resulting considered-web priority order against the order the
+// current allocation was trained on. The paper's coloring is a
+// deterministic greedy walk in priority order over a profile-independent
+// interference structure, so an unchanged order proves the coloring would
+// not change; see drift.go.
+package profagg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"ipra/internal/parv"
+	"ipra/internal/wire"
+)
+
+// Wire kinds and versions of the two profagg artifacts.
+const (
+	recordKind      = "profagg-record"
+	recordVersion   = 1
+	snapshotKind    = "profagg-snapshot"
+	snapshotVersion = 1
+)
+
+// Record is one ingest unit: the call-edge counts of one or more runs of
+// one program binary, stamped with the identity of what produced them.
+type Record struct {
+	// Fingerprint is ipra.ToolchainFingerprint() of the binary's builder.
+	Fingerprint string
+	// Program is the served program key (config + strategy + module set)
+	// the counts belong to.
+	Program string
+	// DirectiveHash is the program database hash of the build the
+	// profiled binary came from; it pins the allocation the counts were
+	// measured under.
+	DirectiveHash string
+	// Runs is how many VM runs are summed into Edges (clients batch one
+	// generation of runs per record, statsd-style).
+	Runs uint64
+	// Edges are the summed call-edge counts.
+	Edges map[parv.EdgeKey]uint64
+}
+
+// NewRecord starts a record for the identified program binary.
+func NewRecord(fingerprint, program, directiveHash string) *Record {
+	return &Record{
+		Fingerprint:   fingerprint,
+		Program:       program,
+		DirectiveHash: directiveHash,
+		Edges:         make(map[parv.EdgeKey]uint64),
+	}
+}
+
+// AddRun folds one run's profile into the record.
+func (r *Record) AddRun(p *parv.Profile) {
+	r.Runs++
+	for k, n := range p.Edges {
+		r.Edges[k] += n
+	}
+}
+
+// AddRuns folds a pre-aggregated profile representing runs identical
+// runs — how a client streams a synthetic or batched generation without
+// materializing every run.
+func (r *Record) AddRuns(p *parv.Profile, runs uint64) {
+	r.Runs += runs
+	for k, n := range p.Edges {
+		r.Edges[k] += n * runs
+	}
+}
+
+// sortedEdges returns the edge set in (caller, callee) order — the
+// canonical serialization and hashing order.
+func sortedEdges(edges map[parv.EdgeKey]uint64) []parv.EdgeKey {
+	keys := make([]parv.EdgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Caller != keys[j].Caller {
+			return keys[i].Caller < keys[j].Caller
+		}
+		return keys[i].Callee < keys[j].Callee
+	})
+	return keys
+}
+
+func encodeEdges(e *wire.Encoder, edges map[parv.EdgeKey]uint64) {
+	keys := sortedEdges(edges)
+	e.U(uint64(len(keys)))
+	for _, k := range keys {
+		e.Str(k.Caller)
+		e.Str(k.Callee)
+		e.U(edges[k])
+	}
+}
+
+func decodeEdges(d *wire.Decoder) map[parv.EdgeKey]uint64 {
+	n := d.Count(3)
+	edges := make(map[parv.EdgeKey]uint64, n)
+	for i := 0; i < n; i++ {
+		caller := d.Str()
+		callee := d.Str()
+		edges[parv.EdgeKey{Caller: caller, Callee: callee}] = d.U()
+	}
+	return edges
+}
+
+// Encode serializes the record in the profagg-record wire format.
+func (r *Record) Encode() []byte {
+	e := wire.NewEncoder(recordKind, recordVersion)
+	e.Str(r.Fingerprint)
+	e.Str(r.Program)
+	e.Str(r.DirectiveHash)
+	e.U(r.Runs)
+	encodeEdges(e, r.Edges)
+	return e.Finish()
+}
+
+// DecodeRecord parses one wire-encoded record.
+func DecodeRecord(data []byte) (*Record, error) {
+	d, err := wire.NewDecoder(data, recordKind, recordVersion)
+	if err != nil {
+		return nil, err
+	}
+	r := &Record{
+		Fingerprint:   d.Str(),
+		Program:       d.Str(),
+		DirectiveHash: d.Str(),
+		Runs:          d.U(),
+	}
+	r.Edges = decodeEdges(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	if r.Runs == 0 {
+		return nil, fmt.Errorf("profagg: record carries zero runs")
+	}
+	return r, nil
+}
+
+// Aggregate is the per-program merged state: total counts over every
+// accepted record, plus the identity they are all pinned to.
+type Aggregate struct {
+	Fingerprint   string
+	Program       string
+	DirectiveHash string
+	// Runs counts VM runs merged in; Records counts ingested records
+	// (generations).
+	Runs, Records uint64
+	// Retrained marks that the current allocation was re-analyzed from
+	// this aggregate (rather than from a single training run); a daemon
+	// restart resumes serving the aggregated allocation.
+	Retrained bool
+	Edges     map[parv.EdgeKey]uint64
+}
+
+// NewAggregate starts an empty aggregate for the identified program.
+func NewAggregate(fingerprint, program, directiveHash string) *Aggregate {
+	return &Aggregate{
+		Fingerprint:   fingerprint,
+		Program:       program,
+		DirectiveHash: directiveHash,
+		Edges:         make(map[parv.EdgeKey]uint64),
+	}
+}
+
+// Merge folds one accepted record in. Identity checks happen in the
+// store; Merge just sums.
+func (a *Aggregate) Merge(r *Record) {
+	a.Runs += r.Runs
+	a.Records++
+	for k, n := range r.Edges {
+		a.Edges[k] += n
+	}
+}
+
+// MeanProfile renders the aggregate as a per-run mean profile — the form
+// the analyzer consumes. Dividing by the run count (round to nearest)
+// keeps the counts on the scale of one run, so the economic filter
+// thresholds (minimum single-node weight) mean the same thing they mean
+// for a single training run, and a fleet of identical runs aggregates to
+// exactly the profile one run produces.
+func (a *Aggregate) MeanProfile() *parv.Profile {
+	runs := a.Runs
+	if runs == 0 {
+		runs = 1
+	}
+	edges := make(map[parv.EdgeKey]uint64, len(a.Edges))
+	calls := make(map[string]uint64)
+	for k, n := range a.Edges {
+		m := (n + runs/2) / runs
+		if m == 0 && n > 0 {
+			m = 1
+		}
+		edges[k] = m
+		calls[k.Callee] += m
+	}
+	return &parv.Profile{Edges: edges, Calls: calls}
+}
+
+// Hash digests the aggregate's content — identity, run totals, and every
+// edge count. It extends the daemon's result-cache and single-flight keys
+// once a program serves from an aggregated allocation, so responses built
+// against different aggregate states never alias.
+func (a *Aggregate) Hash() string {
+	h := sha256.New()
+	field := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	field(a.Fingerprint)
+	field(a.Program)
+	field(a.DirectiveHash)
+	fmt.Fprintf(h, "%d|%d|", a.Runs, a.Records)
+	for _, k := range sortedEdges(a.Edges) {
+		fmt.Fprintf(h, "%s\x00%s\x00%d|", k.Caller, k.Callee, a.Edges[k])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Encode serializes the aggregate as a profagg-snapshot — the persisted
+// form living next to the program's incremental build state.
+func (a *Aggregate) Encode() []byte {
+	e := wire.NewEncoder(snapshotKind, snapshotVersion)
+	e.Str(a.Fingerprint)
+	e.Str(a.Program)
+	e.Str(a.DirectiveHash)
+	e.U(a.Runs)
+	e.U(a.Records)
+	e.Bool(a.Retrained)
+	encodeEdges(e, a.Edges)
+	return e.Finish()
+}
+
+// DecodeAggregate parses one snapshot.
+func DecodeAggregate(data []byte) (*Aggregate, error) {
+	d, err := wire.NewDecoder(data, snapshotKind, snapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	a := &Aggregate{
+		Fingerprint:   d.Str(),
+		Program:       d.Str(),
+		DirectiveHash: d.Str(),
+		Runs:          d.U(),
+		Records:       d.U(),
+		Retrained:     d.Bool(),
+	}
+	a.Edges = decodeEdges(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

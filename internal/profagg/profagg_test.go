@@ -1,0 +1,206 @@
+package profagg
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ipra/internal/parv"
+	"ipra/internal/telemetry"
+)
+
+func edge(caller, callee string) parv.EdgeKey {
+	return parv.EdgeKey{Caller: caller, Callee: callee}
+}
+
+func testProfile() *parv.Profile {
+	return &parv.Profile{
+		Edges: map[parv.EdgeKey]uint64{
+			edge("main", "p0"): 12,
+			edge("p0", "p1"):   40,
+			edge("p1", "p1"):   7,
+		},
+		Calls: map[string]uint64{"p0": 12, "p1": 47},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := NewRecord("fp1", "prog1", "dh1")
+	r.AddRun(testProfile())
+	r.AddRuns(testProfile(), 3)
+	if r.Runs != 4 {
+		t.Fatalf("Runs = %d, want 4", r.Runs)
+	}
+	if got := r.Edges[edge("p0", "p1")]; got != 4*40 {
+		t.Fatalf("batched edge = %d, want %d", got, 4*40)
+	}
+
+	back, err := DecodeRecord(r.Encode())
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, r)
+	}
+
+	empty := NewRecord("fp1", "prog1", "dh1")
+	if _, err := DecodeRecord(empty.Encode()); err == nil {
+		t.Fatal("zero-run record decoded without error")
+	}
+	if _, err := DecodeRecord([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	a := NewAggregate("fp1", "prog1", "dh1")
+	r := NewRecord("fp1", "prog1", "dh1")
+	r.AddRun(testProfile())
+	a.Merge(r)
+	a.Merge(r)
+	a.Retrained = true
+	if a.Runs != 2 || a.Records != 2 {
+		t.Fatalf("totals = %d runs / %d records, want 2/2", a.Runs, a.Records)
+	}
+
+	back, err := DecodeAggregate(a.Encode())
+	if err != nil {
+		t.Fatalf("DecodeAggregate: %v", err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, a)
+	}
+	if !bytes.Equal(a.Encode(), back.Encode()) {
+		t.Fatal("re-encoding is not byte-stable")
+	}
+
+	h := a.Hash()
+	if back.Hash() != h {
+		t.Fatal("hash differs across a lossless round trip")
+	}
+	back.Edges[edge("p0", "p1")]++
+	if back.Hash() == h {
+		t.Fatal("hash insensitive to an edge count change")
+	}
+}
+
+// TestMeanProfile: the mean rounds to nearest, floors nonzero counts at
+// one, and a fleet of identical runs reproduces the single-run profile
+// exactly — the property that makes stable workloads drift-free.
+func TestMeanProfile(t *testing.T) {
+	a := NewAggregate("fp", "prog", "dh")
+	a.Runs = 4
+	a.Edges = map[parv.EdgeKey]uint64{
+		edge("a", "b"): 10, // 10/4 -> 2.5 -> 3
+		edge("a", "c"): 1,  // 0.25 -> 0 -> floored to 1
+		edge("b", "c"): 9,  // 2.25 -> 2
+	}
+	m := a.MeanProfile()
+	want := map[parv.EdgeKey]uint64{edge("a", "b"): 3, edge("a", "c"): 1, edge("b", "c"): 2}
+	if !reflect.DeepEqual(m.Edges, want) {
+		t.Fatalf("mean edges = %v, want %v", m.Edges, want)
+	}
+	if m.Calls["c"] != 3 || m.Calls["b"] != 3 {
+		t.Fatalf("mean calls = %v", m.Calls)
+	}
+
+	one := testProfile()
+	ident := NewAggregate("fp", "prog", "dh")
+	rec := NewRecord("fp", "prog", "dh")
+	rec.AddRuns(one, 37)
+	ident.Merge(rec)
+	if !reflect.DeepEqual(ident.MeanProfile(), one) {
+		t.Fatal("mean over identical runs differs from the single run")
+	}
+}
+
+func TestStoreIngestGuards(t *testing.T) {
+	tr := telemetry.New()
+	s := New(Options{Fingerprint: "fp", Tracer: tr})
+
+	stale := NewRecord("other-fp", "prog", "dh")
+	stale.AddRun(testProfile())
+	res, err := s.Ingest(stale)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if res.Accepted || res.Reason != ReasonStaleFingerprint {
+		t.Fatalf("stale fingerprint accepted: %+v", res)
+	}
+
+	good := NewRecord("fp", "prog", "dh")
+	good.AddRun(testProfile())
+	if res, _ = s.Ingest(good); !res.Accepted || res.Runs != 1 {
+		t.Fatalf("good record not accepted: %+v", res)
+	}
+
+	wrongDir := NewRecord("fp", "prog", "dh-next")
+	wrongDir.AddRun(testProfile())
+	if res, _ = s.Ingest(wrongDir); res.Accepted || res.Reason != ReasonStaleDirectives {
+		t.Fatalf("stale directives accepted: %+v", res)
+	}
+
+	if _, err := s.Ingest(nil); err == nil {
+		t.Fatal("nil record ingested without error")
+	}
+	c := tr.Counters()
+	if c["profagg.rejected_stale"] != 2 {
+		t.Fatalf("rejected_stale = %d, want 2", c["profagg.rejected_stale"])
+	}
+	if c["profagg.runs"] != 1 || c["profagg.records"] != 3 {
+		t.Fatalf("runs/records = %d/%d, want 1/3", c["profagg.runs"], c["profagg.records"])
+	}
+}
+
+// TestStoreLRUAndPersistence: the per-program state map stays bounded
+// under program churn, and evicted aggregates come back from their
+// snapshots — including across a fresh Store (daemon restart).
+func TestStoreLRUAndPersistence(t *testing.T) {
+	base := t.TempDir()
+	dir := func(p string) string { return filepath.Join(base, p) }
+	tr := telemetry.New()
+	s := New(Options{Fingerprint: "fp", Dir: dir, MaxPrograms: 2, Tracer: tr})
+
+	for _, prog := range []string{"a", "b", "c", "a"} {
+		r := NewRecord("fp", prog, "dh")
+		r.AddRun(testProfile())
+		if res, err := s.Ingest(r); err != nil || !res.Accepted {
+			t.Fatalf("ingest %s: %v / %+v", prog, err, res)
+		}
+	}
+	if n := s.Programs(); n > 2 {
+		t.Fatalf("Programs() = %d, want <= 2", n)
+	}
+	if tr.Counters()["profagg.evictions"] == 0 {
+		t.Fatal("no evictions recorded under churn")
+	}
+	// "a" was evicted before its second record; the snapshot must have
+	// carried run 1 forward.
+	snap, ok := s.Snapshot("a")
+	if !ok {
+		t.Fatal("no snapshot for a")
+	}
+	agg, err := DecodeAggregate(snap)
+	if err != nil || agg.Runs != 2 {
+		t.Fatalf("reloaded aggregate runs = %d (err %v), want 2", agg.Runs, err)
+	}
+
+	// A fresh store over the same directory resumes where this one left.
+	s2 := New(Options{Fingerprint: "fp", Dir: dir})
+	r := NewRecord("fp", "b", "dh")
+	r.AddRun(testProfile())
+	res, err := s2.Ingest(r)
+	if err != nil || !res.Accepted {
+		t.Fatalf("restart ingest: %v / %+v", err, res)
+	}
+	if res.Runs != 2 || res.Records != 2 {
+		t.Fatalf("restart totals = %d runs / %d records, want 2/2", res.Runs, res.Records)
+	}
+
+	// A store with a different fingerprint must ignore the stale snapshot.
+	s3 := New(Options{Fingerprint: "fp2", Dir: dir})
+	if _, ok := s3.Snapshot("b"); ok {
+		t.Fatal("stale-fingerprint snapshot was loaded")
+	}
+}

@@ -1,0 +1,313 @@
+package profagg
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ipra/internal/parv"
+	"ipra/internal/telemetry"
+)
+
+// snapshotFile is the aggregate's on-disk name inside a program's build
+// directory. The incremental store's artifact pruning only touches its
+// own prefixed files, so the snapshot survives minimal rebuilds.
+const snapshotFile = "profagg.snapshot"
+
+// Options configure a Store.
+type Options struct {
+	// Fingerprint is the daemon's toolchain fingerprint; records stamped
+	// with any other are rejected as stale.
+	Fingerprint string
+	// Dir maps a program key to its persistent directory (typically the
+	// program's incremental build dir); nil or "" keeps that program's
+	// aggregate in memory only.
+	Dir func(program string) string
+	// MaxPrograms bounds the in-memory per-program states (LRU);
+	// 0 means 128. Evicted aggregates live on in their snapshots; the
+	// evicted drift model is rebuilt by the next profiled build.
+	MaxPrograms int
+	// Tracer receives the profagg.* counters; nil allocates one.
+	Tracer *telemetry.Tracer
+}
+
+// Store is the daemon-side aggregation service: per-program aggregates,
+// drift models, and snapshot persistence behind one mutex.
+type Store struct {
+	opts   Options
+	tracer *telemetry.Tracer
+
+	mu       sync.Mutex
+	order    *list.List               // LRU over *programState, front = most recent
+	programs map[string]*list.Element // program key -> element
+}
+
+// programState is one program's live aggregation state.
+type programState struct {
+	program string
+	agg     *Aggregate
+	model   *DriftModel
+	// meta is the embedder's opaque build context (ipra-served stores
+	// the program's last BuildRequest so drift can trigger a rebuild).
+	meta any
+}
+
+// IngestResult reports what one record did to the aggregate.
+type IngestResult struct {
+	// Accepted is false when the record was rejected as stale; Reason
+	// then carries the machine-readable cause.
+	Accepted bool
+	Reason   string
+	// Drifted reports that the post-merge aggregate's web-priority order
+	// diverged from the trained order (only checked when ModelReady).
+	Drifted bool
+	// ModelReady is true when a drift model was available to check
+	// against (a profiled build of the program has run in this daemon).
+	ModelReady bool
+	// Runs and Records are the aggregate totals after the merge.
+	Runs, Records uint64
+}
+
+// Rejection reasons.
+const (
+	ReasonStaleFingerprint = "stale-fingerprint"
+	ReasonStaleDirectives  = "stale-directives"
+)
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	if opts.MaxPrograms <= 0 {
+		opts.MaxPrograms = 128
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = telemetry.New()
+	}
+	return &Store{
+		opts:     opts,
+		tracer:   opts.Tracer,
+		order:    list.New(),
+		programs: make(map[string]*list.Element),
+	}
+}
+
+// dirFor resolves a program's persistence directory ("" = memory only).
+func (s *Store) dirFor(program string) string {
+	if s.opts.Dir == nil {
+		return ""
+	}
+	return s.opts.Dir(program)
+}
+
+// state returns the program's live state, creating it (and loading any
+// persisted snapshot) on first touch. Caller holds s.mu.
+func (s *Store) state(program string) *programState {
+	if el, ok := s.programs[program]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*programState)
+	}
+	st := &programState{program: program}
+	if dir := s.dirFor(program); dir != "" {
+		if data, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
+			if agg, err := DecodeAggregate(data); err == nil &&
+				agg.Fingerprint == s.opts.Fingerprint && agg.Program == program {
+				st.agg = agg
+				s.tracer.Add("profagg.snapshot_loads", 1)
+			}
+		}
+	}
+	s.programs[program] = s.order.PushFront(st)
+	for s.order.Len() > s.opts.MaxPrograms {
+		el := s.order.Back()
+		s.order.Remove(el)
+		delete(s.programs, el.Value.(*programState).program)
+		s.tracer.Add("profagg.evictions", 1)
+	}
+	return st
+}
+
+// persist writes the program's snapshot (atomic rename). Caller holds
+// s.mu.
+func (s *Store) persist(st *programState) {
+	dir := s.dirFor(st.program)
+	if dir == "" || st.agg == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, st.agg.Encode(), 0o644); err != nil {
+		return
+	}
+	if os.Rename(tmp, filepath.Join(dir, snapshotFile)) == nil {
+		s.tracer.Add("profagg.snapshot_writes", 1)
+	}
+}
+
+// Ingest validates and merges one record, then checks the post-merge
+// aggregate for drift when a model is available. Rejections are reported
+// in the result, not as errors; the error path is reserved for malformed
+// input.
+func (s *Store) Ingest(rec *Record) (*IngestResult, error) {
+	if rec == nil || rec.Program == "" {
+		return nil, fmt.Errorf("profagg: record has no program key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer.Add("profagg.records", 1)
+
+	if rec.Fingerprint != s.opts.Fingerprint {
+		s.tracer.Add("profagg.rejected_stale", 1)
+		return &IngestResult{Reason: ReasonStaleFingerprint}, nil
+	}
+	st := s.state(rec.Program)
+	expect := rec.DirectiveHash
+	switch {
+	case st.model != nil:
+		expect = st.model.DirectiveHash
+	case st.agg != nil:
+		expect = st.agg.DirectiveHash
+	}
+	if rec.DirectiveHash != expect {
+		s.tracer.Add("profagg.rejected_stale", 1)
+		return &IngestResult{Reason: ReasonStaleDirectives, ModelReady: st.model != nil}, nil
+	}
+
+	if st.agg == nil {
+		st.agg = NewAggregate(rec.Fingerprint, rec.Program, rec.DirectiveHash)
+	}
+	st.agg.Merge(rec)
+	s.tracer.Add("profagg.runs", int64(rec.Runs))
+	s.persist(st)
+
+	out := &IngestResult{
+		Accepted:   true,
+		ModelReady: st.model != nil,
+		Runs:       st.agg.Runs,
+		Records:    st.agg.Records,
+	}
+	if st.model != nil {
+		s.tracer.Add("profagg.drift_checks", 1)
+		if st.model.Drifted(st.agg.MeanProfile()) {
+			out.Drifted = true
+			s.tracer.Add("profagg.drift_detected", 1)
+		}
+	}
+	return out, nil
+}
+
+// Register installs the drift model a fresh training build produced. A
+// new directive hash means the fleet's existing counts were measured
+// under a different allocation, so the aggregate resets and collection
+// starts over against the new binary.
+func (s *Store) Register(program string, model *DriftModel, meta any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(program)
+	st.model = model
+	st.meta = meta
+	if st.agg != nil && st.agg.DirectiveHash != model.DirectiveHash {
+		st.agg = nil
+		s.tracer.Add("profagg.aggregate_resets", 1)
+		if dir := s.dirFor(program); dir != "" {
+			os.Remove(filepath.Join(dir, snapshotFile))
+		}
+	}
+}
+
+// RegisterRetrained installs the model of a build trained on this
+// program's aggregate: the aggregate is kept (it is the training input)
+// and re-pinned to the re-analysis's directive hash, so the fleet's next
+// records — produced by binaries of the retrained build — are accepted.
+func (s *Store) RegisterRetrained(program string, model *DriftModel, meta any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(program)
+	st.model = model
+	st.meta = meta
+	if st.agg != nil {
+		st.agg.DirectiveHash = model.DirectiveHash
+		st.agg.Retrained = true
+		s.persist(st)
+	}
+}
+
+// ActiveAggregate returns the aggregate hash and mean profile a build of
+// the program must use — set once a drift-triggered re-analysis has
+// committed to the aggregated allocation. The hash extends the daemon's
+// request keys; the profile feeds WithAggregatedProfile.
+func (s *Store) ActiveAggregate(program string) (hash string, profile *parv.Profile, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.programs[program]
+	if !found {
+		// Not in memory; a persisted retrained aggregate must still
+		// gate builds after a daemon restart.
+		st := s.state(program)
+		if st.agg == nil || !st.agg.Retrained {
+			return "", nil, false
+		}
+		return st.agg.Hash(), st.agg.MeanProfile(), true
+	}
+	st := el.Value.(*programState)
+	s.order.MoveToFront(el)
+	if st.agg == nil || !st.agg.Retrained {
+		return "", nil, false
+	}
+	return st.agg.Hash(), st.agg.MeanProfile(), true
+}
+
+// BeginRetrain flips the program onto its aggregated allocation and
+// returns the embedder's build context. From this point ActiveAggregate
+// gates every build of the program; the embedder runs the rebuild and
+// either RegisterRetrained (success) or AbortRetrain (failure).
+func (s *Store) BeginRetrain(program string) (meta any, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.programs[program]
+	if !found {
+		return nil, false
+	}
+	st := el.Value.(*programState)
+	if st.model == nil || st.agg == nil || st.meta == nil {
+		return nil, false
+	}
+	st.agg.Retrained = true
+	s.persist(st)
+	return st.meta, true
+}
+
+// AbortRetrain reverts BeginRetrain after a failed rebuild.
+func (s *Store) AbortRetrain(program string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.programs[program]; ok {
+		st := el.Value.(*programState)
+		if st.agg != nil {
+			st.agg.Retrained = false
+			s.persist(st)
+		}
+	}
+}
+
+// Snapshot returns the program's encoded aggregate, if any — the
+// /v1/profile/snapshot payload clients fetch to reproduce the daemon's
+// aggregated build locally.
+func (s *Store) Snapshot(program string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(program)
+	if st.agg == nil {
+		return nil, false
+	}
+	return st.agg.Encode(), true
+}
+
+// Programs reports how many program states are live in memory (tests).
+func (s *Store) Programs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.programs)
+}

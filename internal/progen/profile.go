@@ -1,0 +1,148 @@
+// Synthetic call-frequency profiles over generated programs.
+//
+// SynthesizeProfile walks the same deterministic call DAG that Generate
+// and GenerateSummaries build and assigns dynamic call counts under a
+// chosen frequency distribution, producing a parv.Profile without running
+// the simulator. The distributions open a scenario axis for the profile
+// pipeline: skewed (Zipf-like) popularity, bimodal hot/cold split, and a
+// phase-shifting variant whose hot set rotates with a phase counter — the
+// workload change profile-drift detection exists to catch.
+package progen
+
+import (
+	"math/rand"
+
+	"ipra/internal/parv"
+)
+
+// ProfileDist names a synthetic call-frequency distribution.
+type ProfileDist string
+
+const (
+	// DistUniform weighs every procedure equally (the control case: the
+	// shape of the heuristic estimate, exercised with exact counts).
+	DistUniform ProfileDist = "uniform"
+	// DistZipf gives procedures Zipf-like popularity: a deterministic
+	// rank permutation with hyperbolically decaying weight, so a few
+	// procedures dominate the dynamic call counts.
+	DistZipf ProfileDist = "zipf"
+	// DistBimodal splits procedures into a hot fifth (8× weight) and a
+	// cold rest, the classic hot/cold working-set shape.
+	DistBimodal ProfileDist = "bimodal"
+	// DistShift is DistZipf with the popularity ranking rotated by the
+	// phase parameter: successive phases move the hot set across the
+	// program, modelling a fleet whose workload mix changes over time.
+	DistShift ProfileDist = "shift"
+)
+
+// ProfileDists lists the distributions, control first.
+func ProfileDists() []ProfileDist {
+	return []ProfileDist{DistUniform, DistZipf, DistBimodal, DistShift}
+}
+
+// countCap bounds per-edge counts so deep DAG propagation can never
+// overflow (counts are sums of products along call paths).
+const countCap = uint64(1) << 40
+
+// distWeight returns the distribution's weight for one procedure, in
+// 1..8. All arithmetic is integral and a pure function of (id, nprocs,
+// dist, phase), so synthesized profiles are deterministic across
+// processes and platforms.
+func distWeight(dist ProfileDist, id, nprocs, phase int) uint64 {
+	zipf := func(rank int) uint64 {
+		// Hyperbolic decay from 8 down to 1 across the rank range.
+		w := uint64(8 * nprocs / (nprocs + 8*rank))
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	switch dist {
+	case DistZipf:
+		return zipf((id*31 + 7) % nprocs)
+	case DistBimodal:
+		if (id*131+17)%5 == 0 {
+			return 8
+		}
+		return 1
+	case DistShift:
+		stride := nprocs/3 + 1
+		return zipf((id*31 + 7 + phase*stride) % nprocs)
+	default: // DistUniform
+		return 4
+	}
+}
+
+// SynthesizeProfile produces exact call-edge counts for the program
+// Generate(cfg) describes, under the named distribution. phase only
+// matters for DistShift, where it selects which region of the program is
+// hot. Counts propagate top-down over the call DAG — each procedure's
+// invocation count flows to its callees, scaled by the callee's
+// distribution weight — so the profile is structurally consistent: every
+// procedure's call count equals the sum of its incoming edge counts, as
+// in a real simulator run.
+func SynthesizeProfile(cfg Config, dist ProfileDist, phase int) *parv.Profile {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	procs, _ := buildLayout(cfg, rng)
+	nprocs := len(procs)
+
+	inv := make([]uint64, nprocs)
+	edges := make(map[parv.EdgeKey]uint64)
+	add := func(caller string, callee int, n uint64) {
+		if n == 0 {
+			return
+		}
+		if n > countCap {
+			n = countCap
+		}
+		edges[parv.EdgeKey{Caller: caller, Callee: procs[callee].name}] += n
+		if inv[callee] += n; inv[callee] > countCap {
+			inv[callee] = countCap
+		}
+	}
+
+	// main drives the same roots emitMain calls, LoopIters times each,
+	// scaled by the root's distribution weight.
+	for i := 0; i < 6 && i < nprocs; i++ {
+		p := procs[i*7%nprocs]
+		add("main", p.id, uint64(cfg.LoopIters)*distWeight(dist, p.id, nprocs, phase))
+	}
+
+	// Propagate down the DAG. Procedure i calls only higher indexes, so a
+	// single pass in id order sees every caller's final count before its
+	// callees. Each call-site edge carries the caller's invocation count
+	// scaled by the callee's weight, normalized by the uniform weight (4)
+	// so the control distribution neither amplifies nor damps.
+	for _, p := range procs {
+		n := inv[p.id]
+		if n == 0 {
+			continue
+		}
+		for _, c := range p.callees {
+			m := n * distWeight(dist, c, nprocs, phase) / 4
+			if m == 0 {
+				m = 1
+			}
+			add(p.name, c, m)
+		}
+		if p.deep {
+			// Bounded self-recursion: the body recurs up to depth 3, and
+			// the self arc never feeds the propagation (it would double
+			// count the invocations already attributed by real callers).
+			k := 3 * n
+			if k > countCap {
+				k = countCap
+			}
+			edges[parv.EdgeKey{Caller: p.name, Callee: p.name}] += k
+		}
+	}
+
+	// Per-procedure call counts are the incoming edge sums, exactly how
+	// the simulator's Profile() derives them.
+	calls := make(map[string]uint64)
+	for k, n := range edges {
+		calls[k.Callee] += n
+	}
+	return &parv.Profile{Edges: edges, Calls: calls}
+}

@@ -62,6 +62,7 @@ func Dial(addr string) (*Client, error) {
 type StatusError struct {
 	Code          int
 	Message       string
+	Reason        string
 	RetryAfterSec int
 }
 
@@ -69,8 +70,20 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("served: daemon replied %d: %s", e.Code, e.Message)
 }
 
-// Saturated reports whether the error is a queue-full rejection.
-func (e *StatusError) Saturated() bool { return e.Code == http.StatusServiceUnavailable }
+// Saturated reports whether the error is a queue-full rejection — the
+// only 503 worth retrying. A draining daemon also answers 503, but it
+// will never accept this request again; treating every 503 as saturation
+// made clients sit out their whole retry budget against a daemon that
+// was already gone.
+func (e *StatusError) Saturated() bool {
+	return e.Code == http.StatusServiceUnavailable && e.Reason != ReasonDraining
+}
+
+// Draining reports whether the daemon rejected the request because it is
+// shutting down.
+func (e *StatusError) Draining() bool {
+	return e.Code == http.StatusServiceUnavailable && e.Reason == ReasonDraining
+}
 
 // post sends one JSON request and decodes the 200 reply into out.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
@@ -100,6 +113,7 @@ func decodeStatusError(resp *http.Response) error {
 	var er errorResponse
 	if json.Unmarshal(data, &er) == nil && er.Error != "" {
 		se.Message = er.Error
+		se.Reason = er.Reason
 		se.RetryAfterSec = er.RetryAfterSec
 	}
 	if se.RetryAfterSec == 0 {
@@ -142,6 +156,49 @@ func (c *Client) Build(ctx context.Context, req *BuildRequest) (*BuildResponse, 
 	}
 }
 
+// IngestProfile streams one wire-encoded fleet record to the daemon and
+// returns its drift verdict.
+func (c *Client) IngestProfile(ctx context.Context, record []byte) (*ProfileIngestResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/profile", bytes.NewReader(record))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeStatusError(resp)
+	}
+	var out ProfileIngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ProfileSnapshot fetches the program's wire-encoded aggregate snapshot
+// (profagg.DecodeAggregate parses it), enabling a byte-identical local
+// reproduction of the daemon's aggregated build.
+func (c *Client) ProfileSnapshot(ctx context.Context, program string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.baseURL+"/v1/profile/snapshot?program="+program, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeStatusError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Stats fetches the daemon's counter and gauge snapshot.
 func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/stats", nil)
@@ -181,21 +238,22 @@ func (c *Client) Health(ctx context.Context) error {
 }
 
 // WaitReady polls Health until the daemon answers or the deadline
-// passes — the startup handshake of scripted clients (CI, loadgen).
+// passes — the startup handshake of scripted clients (CI, loadgen). The
+// wait is bounded by whichever comes first: timeout, or a deadline or
+// cancellation already carried by ctx (deriving the poll deadline from
+// the context means a caller's tighter budget is never overshot).
 func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var last error
 	for {
-		err := c.Health(ctx)
-		if err == nil {
+		if last = c.Health(ctx); last == nil {
 			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("served: daemon not ready after %v: %w", timeout, err)
 		}
 		select {
 		case <-time.After(50 * time.Millisecond):
 		case <-ctx.Done():
-			return ctx.Err()
+			return fmt.Errorf("served: daemon not ready after %v: %w", timeout, last)
 		}
 	}
 }

@@ -1,0 +1,197 @@
+package served
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"ipra"
+	"ipra/internal/parv"
+	"ipra/internal/profagg"
+	"ipra/internal/progen"
+)
+
+// runExe decodes a served executable and runs it on the simulator with
+// edge profiling — what a fleet member does before streaming counts back.
+func runExe(t *testing.T, exe []byte) *parv.Profile {
+	t.Helper()
+	decoded, err := parv.DecodeExecutable(exe)
+	if err != nil {
+		t.Fatalf("decode exe: %v", err)
+	}
+	vm := parv.NewVM(decoded)
+	vm.ProfileEdges = true
+	if _, err := vm.Run(testTrainInstrs); err != nil {
+		t.Fatalf("vm run: %v", err)
+	}
+	return vm.Profile()
+}
+
+// TestProfileDriftEndToEnd drives the whole aggregation pipeline over
+// HTTP: a profiled build trains the drift model, stable generations of
+// fleet records merge without triggering anything, a shifted generation
+// flips the priority order and provokes exactly one re-analysis, and the
+// retrained executable the daemon then serves is byte-identical to a
+// clean local build on the aggregate's mean profile.
+func TestProfileDriftEndToEnd(t *testing.T) {
+	srv := New(Options{Jobs: 2, StateDir: t.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	srcs := testSources(t)
+	req := &BuildRequest{Config: "B", Sources: srcs, TrainInstrs: testTrainInstrs}
+	program := req.ProgramKey()
+
+	resp, err := client.Build(ctx, req)
+	if err != nil {
+		t.Fatalf("training build: %v", err)
+	}
+	if resp.DirectiveHash == "" {
+		t.Fatal("profiled build carries no directive hash")
+	}
+
+	// Two stable generations: the fleet runs the served binary and
+	// streams back counts that match the training run.
+	stable := runExe(t, resp.Exe)
+	for gen := 0; gen < 2; gen++ {
+		rec := profagg.NewRecord(srv.Fingerprint(), program, resp.DirectiveHash)
+		rec.AddRuns(stable, 4)
+		ir, err := client.IngestProfile(ctx, rec.Encode())
+		if err != nil {
+			t.Fatalf("stable gen %d: %v", gen, err)
+		}
+		if !ir.Accepted || !ir.ModelReady {
+			t.Fatalf("stable gen %d: %+v, want accepted with a live model", gen, ir)
+		}
+		if ir.Drifted || ir.Reanalyzed {
+			t.Fatalf("stable gen %d triggered a re-analysis: %+v", gen, ir)
+		}
+	}
+
+	// A workload shift: one generation heavy enough to move the mean.
+	shifted := profagg.NewRecord(srv.Fingerprint(), program, resp.DirectiveHash)
+	shifted.AddRuns(progen.SynthesizeProfile(testProgram, progen.DistShift, 1), 64)
+	ir, err := client.IngestProfile(ctx, shifted.Encode())
+	if err != nil {
+		t.Fatalf("shifted gen: %v", err)
+	}
+	if !ir.Accepted || !ir.Drifted || !ir.Reanalyzed {
+		t.Fatalf("shifted gen: %+v, want accepted+drifted+reanalyzed", ir)
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Counters["profagg.drift_checks"]; got != 3 {
+		t.Errorf("drift_checks = %d, want 3", got)
+	}
+	if got := stats.Counters["profagg.drift_detected"]; got != 1 {
+		t.Errorf("drift_detected = %d, want 1", got)
+	}
+	if got := stats.Counters["profagg.reanalyses"]; got != 1 {
+		t.Errorf("reanalyses = %d, want exactly 1", got)
+	}
+
+	// The same request now serves the retrained allocation.
+	resp2, err := client.Build(ctx, req)
+	if err != nil {
+		t.Fatalf("post-retrain build: %v", err)
+	}
+	if bytes.Equal(resp.Exe, resp2.Exe) {
+		t.Log("note: retrained executable is byte-identical to the trained one (order flip without coloring change)")
+	}
+
+	// Byte-identity oracle: a clean local build on the aggregate's mean
+	// profile must reproduce the daemon's retrained bytes exactly.
+	snap, err := client.ProfileSnapshot(ctx, program)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	agg, err := profagg.DecodeAggregate(snap)
+	if err != nil {
+		t.Fatalf("decode snapshot: %v", err)
+	}
+	if !agg.Retrained {
+		t.Fatal("snapshot not marked retrained")
+	}
+	sources := make([]ipra.Source, len(srcs))
+	for i, s := range srcs {
+		sources[i] = ipra.Source{Name: s.Name, Text: []byte(s.Text)}
+	}
+	local, err := ipra.Build(ctx, sources, ipra.MustPreset("B"),
+		ipra.WithAggregatedProfile(agg.MeanProfile()))
+	if err != nil {
+		t.Fatalf("local aggregated build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := parv.EncodeExecutable(&buf, local.Exe); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), resp2.Exe) {
+		t.Fatal("daemon's retrained executable differs from a clean local build on the aggregated profile")
+	}
+}
+
+// TestProfileVersionGuard: records stamped by a stale toolchain or a
+// stale allocation are rejected, not merged — mixing counts measured
+// under different allocations would corrupt the aggregate.
+func TestProfileVersionGuard(t *testing.T) {
+	srv := New(Options{Jobs: 2, StateDir: t.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	srcs := testSources(t)
+	req := &BuildRequest{Config: "B", Sources: srcs, TrainInstrs: testTrainInstrs}
+	resp, err := client.Build(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	program := req.ProgramKey()
+	prof := runExe(t, resp.Exe)
+
+	wrongFP := profagg.NewRecord("stale-toolchain", program, resp.DirectiveHash)
+	wrongFP.AddRuns(prof, 1)
+	ir, err := client.IngestProfile(ctx, wrongFP.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted || ir.Reason != profagg.ReasonStaleFingerprint {
+		t.Fatalf("stale-toolchain record: %+v", ir)
+	}
+
+	wrongHash := profagg.NewRecord(srv.Fingerprint(), program, "0000000000000000")
+	wrongHash.AddRuns(prof, 1)
+	if ir, err = client.IngestProfile(ctx, wrongHash.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted || ir.Reason != profagg.ReasonStaleDirectives {
+		t.Fatalf("stale-allocation record: %+v", ir)
+	}
+
+	if _, err := client.IngestProfile(ctx, []byte("not a record")); err == nil {
+		t.Fatal("malformed record body accepted")
+	}
+
+	c := srv.Counters()
+	if c["profagg.rejected_stale"] != 2 {
+		t.Errorf("rejected_stale = %d, want 2", c["profagg.rejected_stale"])
+	}
+	if c["profagg.drift_checks"] != 0 {
+		t.Errorf("drift_checks = %d after only rejected records, want 0", c["profagg.drift_checks"])
+	}
+	if c["profagg.runs"] != 0 {
+		t.Errorf("profagg.runs = %d, stale counts were merged", c["profagg.runs"])
+	}
+}

@@ -5,8 +5,19 @@
 //
 //	POST /v1/build   compile a source set under a named configuration;
 //	                 the body is a BuildRequest, the reply a BuildResponse
+//	POST /v1/profile wire-encoded profagg.Record body; merges fleet call
+//	                 counts and replies with a ProfileIngestResponse
+//	GET  /v1/profile/snapshot?program=KEY
+//	                 the program's wire-encoded aggregate snapshot
 //	GET  /v1/stats   ServerStats: telemetry counters plus live gauges
 //	GET  /v1/health  200 once the server accepts work, 503 while draining
+//
+// Error replies carry a machine-readable errorResponse.Reason alongside
+// the human-readable message, and the status code classifies the fault:
+// 400 for a malformed request, 422 for a compile failure in the submitted
+// program, 500 for a server-side fault, 503 with Reason "saturated" (plus
+// Retry-After) for a full admission queue and Reason "draining" for a
+// shutdown in progress — only the former is worth retrying.
 //
 // A BuildResponse's Exe field is the canonical parv executable encoding
 // (parv.EncodeExecutable), so a daemon-served build can be compared
@@ -24,6 +35,7 @@ import (
 	"strings"
 
 	"ipra"
+	"ipra/internal/parv"
 )
 
 // Source is one MiniC module in a build request.
@@ -53,6 +65,24 @@ type BuildRequest struct {
 	// response (per-request telemetry is always collected; the trace
 	// export is opt-in because it is large).
 	Trace bool `json:"trace,omitempty"`
+
+	// aggProfile/aggHash are resolved once per request on admission, when
+	// the program serves from a fleet-aggregated allocation: the
+	// aggregate's mean profile replaces the training run, and its content
+	// hash extends the dedup/result keys so responses built against
+	// different aggregate states never alias. Never set by clients.
+	aggProfile *parv.Profile
+	aggHash    string
+}
+
+// clone copies the request for retention (the profile store keeps the
+// program's last request as its retrain context), dropping the resolved
+// aggregate so a replay re-resolves it against the store's current state.
+func (r *BuildRequest) clone() *BuildRequest {
+	cp := *r
+	cp.aggProfile, cp.aggHash = nil, ""
+	cp.Sources = append([]Source(nil), r.Sources...)
+	return &cp
 }
 
 // IncrementalSummary is the rebuild record of a request served from a
@@ -98,6 +128,31 @@ type BuildResponse struct {
 	ElapsedMS float64 `json:"elapsedMs"`
 	// Trace is the request's Chrome trace-event JSON when asked for.
 	Trace json.RawMessage `json:"trace,omitempty"`
+	// DirectiveHash identifies the program database the executable was
+	// compiled against ("" for Level2). Profiled clients stamp it into
+	// the records they stream to /v1/profile, which is how the daemon
+	// rejects counts measured under a stale allocation.
+	DirectiveHash string `json:"directiveHash,omitempty"`
+}
+
+// ProfileIngestResponse is the /v1/profile reply.
+type ProfileIngestResponse struct {
+	// Accepted is false when the record was rejected as stale; Reason
+	// then names the cause ("stale-fingerprint" or "stale-directives").
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+	// Runs and Records are the aggregate totals after the merge.
+	Runs    uint64 `json:"runs"`
+	Records uint64 `json:"records"`
+	// ModelReady reports a drift model was available to check against.
+	ModelReady bool `json:"modelReady"`
+	// Drifted reports the merged aggregate would reorder the considered
+	// webs; Reanalyzed that the daemon rebuilt the program from the
+	// aggregate in response, with DirectiveHash identifying the new
+	// allocation the fleet should roll onto.
+	Drifted       bool   `json:"drifted"`
+	Reanalyzed    bool   `json:"reanalyzed"`
+	DirectiveHash string `json:"directiveHash,omitempty"`
 }
 
 // ServerStats is the /v1/stats reply.
@@ -120,9 +175,22 @@ type ServerStats struct {
 // errorResponse is the JSON body of a non-200 reply.
 type errorResponse struct {
 	Error string `json:"error"`
+	// Reason classifies the fault machine-readably: "saturated" (queue
+	// full, retry after RetryAfterSec), "draining" (shutdown, do not
+	// retry), "bad-request", "compile", "internal".
+	Reason string `json:"reason,omitempty"`
 	// RetryAfterSec accompanies 503 queue-full rejections.
 	RetryAfterSec int `json:"retryAfterSec,omitempty"`
 }
+
+// Machine-readable errorResponse.Reason values.
+const (
+	ReasonSaturated  = "saturated"
+	ReasonDraining   = "draining"
+	ReasonBadRequest = "bad-request"
+	ReasonCompile    = "compile"
+	ReasonInternal   = "internal"
+)
 
 // Validate rejects malformed requests before any work is admitted.
 func (r *BuildRequest) Validate() error {

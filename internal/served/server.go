@@ -48,6 +48,7 @@ import (
 	"ipra"
 	"ipra/internal/parv"
 	"ipra/internal/pipeline"
+	"ipra/internal/profagg"
 	"ipra/internal/telemetry"
 )
 
@@ -72,6 +73,9 @@ type Options struct {
 	// TrainInstrs is the default training-run budget for profiled
 	// configurations when the request leaves it zero.
 	TrainInstrs uint64
+	// ProfilePrograms bounds the profile-aggregation store's in-memory
+	// per-program states (internal/profagg); 0 means 128.
+	ProfilePrograms int
 	// Fingerprint overrides the toolchain fingerprint guarding all
 	// served state; empty uses ipra.ToolchainFingerprint(). Tests use
 	// the override to prove stale-state rejection.
@@ -85,8 +89,22 @@ type Options struct {
 }
 
 // ErrSaturated is returned (as HTTP 503 + Retry-After on the wire) when
-// the admission queue is full.
+// the admission queue is full. Retrying after the hint is the right
+// response.
 var ErrSaturated = errors.New("served: admission queue full")
+
+// ErrDraining is returned (HTTP 503, Reason "draining", no Retry-After)
+// once Shutdown has begun. Unlike saturation this is not transient from
+// the requester's point of view — clients should fail over, not retry.
+var ErrDraining = errors.New("served: server is draining")
+
+// RequestError marks a fault in the request itself — missing fields,
+// unknown config or strategy — mapped to HTTP 400, as opposed to a
+// compile failure in a well-formed request (422).
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
 
 // inflight is one single-flight entry: the leader builds, followers wait
 // on done and read resp/err.
@@ -165,9 +183,10 @@ type Server struct {
 
 	mu      sync.Mutex
 	flights map[string]*inflight
-	dirLock map[string]*sync.Mutex // per-build-dir serialization
+	dirLock map[string]*dirMutex // per-build-dir serialization, refcounted
 
-	results *resultCache
+	results  *resultCache
+	profiles *profagg.Store
 
 	// buildFn runs one deduplicated build; tests wrap it to hold builds
 	// open and provoke dedup/saturation deterministically.
@@ -211,9 +230,20 @@ func New(opts Options) *Server {
 		admission:   make(chan struct{}, opts.Concurrency+opts.QueueDepth),
 		running:     make(chan struct{}, opts.Concurrency),
 		flights:     make(map[string]*inflight),
-		dirLock:     make(map[string]*sync.Mutex),
+		dirLock:     make(map[string]*dirMutex),
 		results:     newResultCache(cacheMax),
 	}
+	var dir func(string) string
+	if opts.StateDir != "" {
+		stateDir := opts.StateDir
+		dir = func(program string) string { return filepath.Join(stateDir, program) }
+	}
+	s.profiles = profagg.New(profagg.Options{
+		Fingerprint: fp,
+		Dir:         dir,
+		MaxPrograms: opts.ProfilePrograms,
+		Tracer:      tr,
+	})
 	s.buildFn = s.runBuild
 	return s
 }
@@ -250,27 +280,40 @@ func (s *Server) logf(format string, args ...any) {
 // does; it is the in-process entry point tests and embedders use.
 func (s *Server) Build(ctx context.Context, req *BuildRequest) (*BuildResponse, error) {
 	if err := req.Validate(); err != nil {
-		return nil, err
+		return nil, &RequestError{Err: err}
 	}
 	if _, err := ipra.PresetByName(req.Config); err != nil {
-		return nil, err
+		return nil, &RequestError{Err: err}
 	}
 	// Canonicalize the strategy before any key is computed so "" and
 	// the default name deduplicate (and cache) as one request.
 	canon, err := ipra.ResolveStrategy(req.Strategy)
 	if err != nil {
-		return nil, err
+		return nil, &RequestError{Err: err}
 	}
 	req.Strategy = canon
 	if s.draining.Load() {
-		return nil, fmt.Errorf("served: server is shutting down")
+		return nil, ErrDraining
 	}
 	s.inflightN.Add(1)
 	defer s.inflightN.Add(-1)
 	s.tracer.Add("served.requests", 1)
 
+	// When a drift-triggered re-analysis has committed this program to a
+	// fleet-aggregated allocation, every build of it uses the aggregate's
+	// mean profile, and the aggregate's content hash extends the request
+	// key so results from different aggregate states never alias.
+	if req.aggProfile == nil {
+		if hash, prof, ok := s.profiles.ActiveAggregate(req.ProgramKey()); ok {
+			req.aggHash, req.aggProfile = hash, prof
+		}
+	}
+
 	began := time.Now()
 	key := req.Key(s.fingerprint)
+	if req.aggHash != "" {
+		key += "|agg:" + req.aggHash
+	}
 	if resp, ok := s.results.get(key); ok {
 		s.tracer.Add("served.result_hits", 1)
 		out := *resp
@@ -374,11 +417,17 @@ func (s *Server) runBuild(ctx context.Context, req *BuildRequest) (*BuildRespons
 	reqTracer := telemetry.New()
 	opts := []ipra.BuildOption{ipra.WithTelemetry(reqTracer)}
 	if cfg.WantProfile {
-		instrs := req.TrainInstrs
-		if instrs == 0 {
-			instrs = s.opts.TrainInstrs
+		if req.aggProfile != nil {
+			// The program serves from its fleet aggregate: the mean
+			// profile replaces the training run entirely.
+			opts = append(opts, ipra.WithAggregatedProfile(req.aggProfile))
+		} else {
+			instrs := req.TrainInstrs
+			if instrs == 0 {
+				instrs = s.opts.TrainInstrs
+			}
+			opts = append(opts, ipra.WithProfile(instrs))
 		}
-		opts = append(opts, ipra.WithProfile(instrs))
 	}
 	if req.Verify {
 		opts = append(opts, ipra.WithVerify())
@@ -391,9 +440,8 @@ func (s *Server) runBuild(ctx context.Context, req *BuildRequest) (*BuildRespons
 		// Two different source versions of the same program share a
 		// build directory; serialize them so concurrent edits never
 		// interleave manifest writes.
-		lock := s.lockFor(buildDir)
-		lock.Lock()
-		defer lock.Unlock()
+		lock := s.lockDir(buildDir)
+		defer s.unlockDir(buildDir, lock)
 	}
 
 	res, err := ipra.Build(ctx, sources, cfg, opts...)
@@ -417,6 +465,10 @@ func (s *Server) runBuild(ctx context.Context, req *BuildRequest) (*BuildRespons
 		Counters:     reqTracer.Counters(),
 		ElapsedMS:    float64(time.Since(began).Microseconds()) / 1000,
 	}
+	if res.Program.DB != nil {
+		resp.DirectiveHash = res.Program.DB.Hash()
+	}
+	s.registerProfileModel(req, cfg, res, resp.DirectiveHash)
 	if out := res.Incremental; out != nil {
 		resp.Incremental = &IncrementalSummary{
 			StateReset:     out.StateReset,
@@ -437,16 +489,120 @@ func (s *Server) runBuild(ctx context.Context, req *BuildRequest) (*BuildRespons
 	return resp, nil
 }
 
-// lockFor returns the mutex serializing one build directory.
-func (s *Server) lockFor(dir string) *sync.Mutex {
+// dirMutex is one build directory's lock plus the number of holders and
+// waiters keeping it alive. The refcount lets unlockDir prune the entry
+// the moment the last interested build releases it, so the dirLock map
+// tracks only directories with active builds instead of growing by one
+// entry per program ever served (the result cache is bounded; this map
+// must be too).
+type dirMutex struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockDir acquires the named directory's lock, creating it on demand.
+func (s *Server) lockDir(dir string) *dirMutex {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	l, ok := s.dirLock[dir]
 	if !ok {
-		l = &sync.Mutex{}
+		l = &dirMutex{}
 		s.dirLock[dir] = l
 	}
+	l.refs++
+	s.mu.Unlock()
+	l.mu.Lock()
 	return l
+}
+
+// unlockDir releases the directory's lock and drops the map entry once no
+// build holds or waits on it.
+func (s *Server) unlockDir(dir string, l *dirMutex) {
+	l.mu.Unlock()
+	s.mu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(s.dirLock, dir)
+	}
+	s.mu.Unlock()
+}
+
+// dirLocks reports the live lock-map size (tests).
+func (s *Server) dirLocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dirLock)
+}
+
+// registerProfileModel installs or refreshes the program's drift model
+// after a profile-carrying build: a training build registers the trained
+// order (resetting any aggregate measured under older directives), an
+// aggregated build re-pins the aggregate to the new allocation. The
+// request clone retained as the model's context is what a later drift
+// detection replays through Build.
+func (s *Server) registerProfileModel(req *BuildRequest, cfg ipra.Config, res *ipra.BuildResult, directiveHash string) {
+	if !cfg.WantProfile || directiveHash == "" {
+		return
+	}
+	program := req.ProgramKey()
+	switch {
+	case req.aggProfile != nil:
+		model, err := profagg.NewDriftModel(res.Program.Summaries, cfg.Analyzer.Filter, cfg.Jobs, req.aggProfile, directiveHash)
+		if err != nil {
+			s.logf("profagg: %s: drift model: %v", program, err)
+			return
+		}
+		s.profiles.RegisterRetrained(program, model, req.clone())
+	case res.Train != nil && res.Train.Profile != nil:
+		model, err := profagg.NewDriftModel(res.Program.Summaries, cfg.Analyzer.Filter, cfg.Jobs, res.Train.Profile, directiveHash)
+		if err != nil {
+			s.logf("profagg: %s: drift model: %v", program, err)
+			return
+		}
+		s.profiles.Register(program, model, req.clone())
+	}
+}
+
+// IngestProfile merges one fleet record and, when the merged aggregate
+// drifts from the trained order, replays the program's build request
+// against the aggregate — the in-process form of POST /v1/profile.
+func (s *Server) IngestProfile(ctx context.Context, rec *profagg.Record) (*ProfileIngestResponse, error) {
+	res, err := s.profiles.Ingest(rec)
+	if err != nil {
+		return nil, err
+	}
+	out := &ProfileIngestResponse{
+		Accepted:   res.Accepted,
+		Reason:     res.Reason,
+		Runs:       res.Runs,
+		Records:    res.Records,
+		ModelReady: res.ModelReady,
+		Drifted:    res.Drifted,
+	}
+	if !res.Drifted {
+		return out, nil
+	}
+	meta, ok := s.profiles.BeginRetrain(rec.Program)
+	if !ok {
+		return out, nil
+	}
+	req, ok := meta.(*BuildRequest)
+	if !ok {
+		s.profiles.AbortRetrain(rec.Program)
+		return out, nil
+	}
+	began := time.Now()
+	resp, err := s.Build(ctx, req.clone())
+	if err != nil {
+		s.profiles.AbortRetrain(rec.Program)
+		s.logf("profagg: %s: re-analysis failed: %v", rec.Program, err)
+		return out, nil
+	}
+	s.tracer.Add("profagg.reanalyses", 1)
+	s.tracer.Add("profagg.reanalysis_ms", time.Since(began).Milliseconds())
+	out.Reanalyzed = true
+	out.DirectiveHash = resp.DirectiveHash
+	s.logf("profagg: %s: drift after %d runs, re-analyzed in %.0fms", rec.Program, res.Runs, resp.ElapsedMS)
+	return out, nil
 }
 
 // mergeCounters folds one request tracer's counters into the server
@@ -478,6 +634,8 @@ const maxRequestBytes = 256 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/build", s.handleBuild)
+	mux.HandleFunc("/v1/profile", s.handleProfile)
+	mux.HandleFunc("/v1/profile/snapshot", s.handleProfileSnapshot)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/health", s.handleHealth)
 	return mux
@@ -505,16 +663,86 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Build(r.Context(), &req)
+	if err != nil {
+		s.writeBuildError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeBuildError maps a Build error onto the wire: each class gets its
+// own status code and machine-readable reason so clients can distinguish
+// "retry later" (saturated) from "give up" (draining), and their own
+// mistakes (400) from a broken program (422) or a broken daemon (500).
+func (s *Server) writeBuildError(w http.ResponseWriter, err error) {
+	var reqErr *RequestError
 	switch {
 	case errors.Is(err, ErrSaturated):
 		sec := s.retryAfterSec()
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), RetryAfterSec: sec})
-	case err != nil:
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: err.Error(), Reason: ReasonSaturated, RetryAfterSec: sec})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: err.Error(), Reason: ReasonDraining})
+	case errors.As(err, &reqErr):
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: err.Error(), Reason: ReasonBadRequest})
+	case isInternalError(err):
+		writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: err.Error(), Reason: ReasonInternal})
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorResponse{Error: err.Error(), Reason: ReasonCompile})
 	}
+}
+
+// isInternalError recognizes faults in the daemon's own environment —
+// filesystem and OS errors out of the incremental store — as opposed to
+// compile errors in the submitted program.
+func isInternalError(err error) bool {
+	var pathErr *os.PathError
+	var linkErr *os.LinkError
+	var sysErr *os.SyscallError
+	return errors.As(err, &pathErr) || errors.As(err, &linkErr) || errors.As(err, &sysErr)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required", Reason: ReasonBadRequest})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Reason: ReasonBadRequest})
+		return
+	}
+	rec, err := profagg.DecodeRecord(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Reason: ReasonBadRequest})
+		return
+	}
+	resp, err := s.IngestProfile(r.Context(), rec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Reason: ReasonBadRequest})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProfileSnapshot(w http.ResponseWriter, r *http.Request) {
+	program := r.URL.Query().Get("program")
+	if program == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "program query parameter required", Reason: ReasonBadRequest})
+		return
+	}
+	data, ok := s.profiles.Snapshot(program)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no aggregate for program " + program})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -523,7 +751,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining", Reason: ReasonDraining})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "fingerprint": s.fingerprint})

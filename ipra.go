@@ -397,6 +397,7 @@ type BuildOption func(*buildSettings)
 type buildSettings struct {
 	profiled    bool
 	trainInstrs uint64
+	aggProfile  *parv.Profile
 	buildDir    string
 	tracer      *telemetry.Tracer
 	stderr      io.Writer
@@ -414,6 +415,18 @@ func WithProfile(maxInstrs uint64) BuildOption {
 		s.profiled = true
 		s.trainInstrs = maxInstrs
 	}
+}
+
+// WithAggregatedProfile supplies exact call counts collected outside this
+// build — typically a fleet aggregate's mean profile (internal/profagg) —
+// instead of running a training pass. The analyzer consumes p exactly as
+// it would a fresh training run's profile, so the output is byte-identical
+// to a WithProfile build whose training run happened to produce p. When
+// combined with WithProfile, the aggregated profile wins and the training
+// run is skipped (that is what a drift-triggered re-analysis wants: same
+// request, counts replaced by the fleet's).
+func WithAggregatedProfile(p *parv.Profile) BuildOption {
+	return func(s *buildSettings) { s.aggProfile = p }
 }
 
 // WithBuildDir makes the build incremental against a persistent build
@@ -528,6 +541,23 @@ func Build(ctx context.Context, sources []Source, cfg Config, opts ...BuildOptio
 
 // runBuild dispatches one Build under its resolved settings.
 func runBuild(ctx context.Context, sources []Source, cfg Config, s buildSettings, res *BuildResult) error {
+	if s.aggProfile != nil {
+		// Externally supplied counts replace the training pass entirely:
+		// one compile against the main build directory, with the profile
+		// wired through the analyzer exactly as a training run's would be.
+		cfg.Profile = s.aggProfile
+		p, out, err := compileWith(ctx, sources, cfg, s.buildDir, s.stderr)
+		if err != nil {
+			return err
+		}
+		if s.verify {
+			if err := verifyAnalysis(ctx, p); err != nil {
+				return err
+			}
+		}
+		res.Program, res.Incremental = p, out
+		return nil
+	}
 	if !s.profiled {
 		p, out, err := compileWith(ctx, sources, cfg, s.buildDir, s.stderr)
 		if err != nil {

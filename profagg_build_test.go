@@ -1,0 +1,114 @@
+package ipra
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ipra/internal/profagg"
+	"ipra/internal/progen"
+)
+
+var aggTestCfg = progen.Config{
+	Seed: 41, Modules: 4, ProcsPerModule: 8, Globals: 32,
+	SubsystemSize: 4, Recursion: true, Statics: true, LoopIters: 3,
+}
+
+func aggTestSources(t *testing.T) []Source {
+	t.Helper()
+	mods := progen.Generate(aggTestCfg)
+	srcs := make([]Source, len(mods))
+	for i, m := range mods {
+		srcs[i] = Source{Name: m.Name, Text: []byte(m.Text)}
+	}
+	return srcs
+}
+
+// TestWithAggregatedProfileByteIdentity pins the property the drift
+// pipeline's retrain step depends on: building with an externally
+// supplied profile is byte-identical to any other path that feeds the
+// analyzer the same counts — the direct cfg.Profile route, the combined
+// WithProfile+WithAggregatedProfile route (training skipped), and the
+// incremental route through a persistent build directory.
+func TestWithAggregatedProfileByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	srcs := aggTestSources(t)
+	cfg := MustPreset("B")
+	prof := progen.SynthesizeProfile(aggTestCfg, progen.DistShift, 1)
+
+	agg, err := Build(ctx, srcs, cfg, WithAggregatedProfile(prof), WithVerify())
+	if err != nil {
+		t.Fatalf("aggregated build: %v", err)
+	}
+	if agg.Train != nil {
+		t.Fatal("aggregated build ran a training pass")
+	}
+	want := exeBytes(t, agg.Program.Exe)
+
+	direct := cfg
+	direct.Profile = prof
+	viaCfg, err := Build(ctx, srcs, direct)
+	if err != nil {
+		t.Fatalf("direct-profile build: %v", err)
+	}
+	if !bytes.Equal(want, exeBytes(t, viaCfg.Program.Exe)) {
+		t.Fatal("aggregated build differs from direct cfg.Profile build")
+	}
+
+	both, err := Build(ctx, srcs, cfg, WithProfile(1_000_000), WithAggregatedProfile(prof))
+	if err != nil {
+		t.Fatalf("combined build: %v", err)
+	}
+	if both.Train != nil {
+		t.Fatal("WithAggregatedProfile did not suppress the training run")
+	}
+	if !bytes.Equal(want, exeBytes(t, both.Program.Exe)) {
+		t.Fatal("combined build differs from aggregated build")
+	}
+
+	dir := t.TempDir()
+	incr, err := Build(ctx, srcs, cfg, WithAggregatedProfile(prof), WithBuildDir(dir))
+	if err != nil {
+		t.Fatalf("incremental aggregated build: %v", err)
+	}
+	if !bytes.Equal(want, exeBytes(t, incr.Program.Exe)) {
+		t.Fatal("incremental aggregated build differs from in-memory")
+	}
+	again, err := Build(ctx, srcs, cfg, WithAggregatedProfile(prof), WithBuildDir(dir))
+	if err != nil {
+		t.Fatalf("incremental rebuild: %v", err)
+	}
+	if !bytes.Equal(want, exeBytes(t, again.Program.Exe)) {
+		t.Fatal("no-edit incremental rebuild changed the output")
+	}
+}
+
+// TestAggregatedProfileMeanMatchesTraining closes the loop with profagg:
+// a fleet of identical runs of the trained binary aggregates to a mean
+// profile whose build is byte-identical to the original profiled build.
+func TestAggregatedProfileMeanMatchesTraining(t *testing.T) {
+	ctx := context.Background()
+	srcs := aggTestSources(t)
+	cfg := MustPreset("B")
+
+	trained, err := Build(ctx, srcs, cfg, WithProfile(5_000_000))
+	if err != nil {
+		t.Fatalf("profiled build: %v", err)
+	}
+	if trained.Train == nil || trained.Train.Profile == nil {
+		t.Fatal("profiled build produced no training profile")
+	}
+
+	a := profagg.NewAggregate(ToolchainFingerprint(), "prog", trained.Program.DB.Hash())
+	rec := profagg.NewRecord(a.Fingerprint, a.Program, a.DirectiveHash)
+	rec.AddRuns(trained.Train.Profile, 9)
+	a.Merge(rec)
+
+	rebuilt, err := Build(ctx, srcs, cfg, WithAggregatedProfile(a.MeanProfile()))
+	if err != nil {
+		t.Fatalf("aggregated rebuild: %v", err)
+	}
+	if !bytes.Equal(exeBytes(t, trained.Program.Exe), exeBytes(t, rebuilt.Program.Exe)) {
+		t.Fatal("mean-profile rebuild differs from the original profiled build")
+	}
+}
